@@ -1,0 +1,85 @@
+// Command ltexp regenerates the paper's figures and numeric analyses:
+// every experiment registered in internal/experiments (DESIGN.md §3),
+// rendered as text tables, ASCII plots, and paper-vs-measured notes.
+//
+// Examples:
+//
+//	ltexp              # run everything (used to produce EXPERIMENTS.md)
+//	ltexp -id E2       # one experiment
+//	ltexp -quick       # reduced Monte Carlo budgets
+//	ltexp -list        # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "run a single experiment by ID (e.g. E2)")
+		quick = flag.Bool("quick", false, "reduced Monte Carlo budgets")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-14s %s\n", e.ID, e.Source, e.Title)
+		}
+		return
+	}
+
+	todo := experiments.All()
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ltexp: unknown experiment %q (use -list)\n", *id)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, e := range todo {
+		if err := runOne(e, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ltexp: %s: %v\n", e.ID, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(e experiments.Experiment, cfg experiments.RunConfig) error {
+	fmt.Printf("================================================================\n")
+	fmt.Printf("%s — %s (%s)\n", e.ID, e.Title, e.Source)
+	fmt.Printf("================================================================\n\n")
+	res, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range res.Tables {
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for _, p := range res.Plots {
+		if err := p.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command ltmttdl evaluates the paper's analytic reliability model for a
+// parameter set given on the command line: MTTDL through the general
+// clamped eq 7, the regime approximation, replication scaling (eq 12),
+// mission loss probability, and the §6 strategy sensitivity ranking.
+//
+// Examples:
+//
+//	ltmttdl                           # the paper's §5.4 scrubbed scenario
+//	ltmttdl -scrubs-per-year 0        # no auditing (32-year MTTDL)
+//	ltmttdl -alpha 0.1 -replicas 4    # correlated 4-way replication
+//	ltmttdl -mv 1e6 -ml 2e5 -mrv 0.5 -mrl 0.5 -mdl 720 -mission 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		mv      = flag.Float64("mv", model.PaperMV, "mean time to visible fault, hours")
+		ml      = flag.Float64("ml", model.PaperML, "mean time to latent fault, hours (inf = none)")
+		mrv     = flag.Float64("mrv", model.PaperMRV, "mean time to repair a visible fault, hours")
+		mrl     = flag.Float64("mrl", model.PaperMRL, "mean time to repair a detected latent fault, hours")
+		mdl     = flag.Float64("mdl", -1, "mean latent detection time, hours (-1 = derive from -scrubs-per-year)")
+		scrubs  = flag.Float64("scrubs-per-year", 3, "audit frequency when -mdl is not given (0 = never)")
+		alpha   = flag.Float64("alpha", 1, "correlation factor in (0,1]")
+		mission = flag.Float64("mission", 50, "mission length in years for the loss probability")
+		reps    = flag.Int("replicas", 2, "replica count for the eq-12 scaling table")
+	)
+	flag.Parse()
+
+	p := model.Params{MV: *mv, ML: *ml, MRV: *mrv, MRL: *mrl, Alpha: *alpha}
+	if *mdl >= 0 {
+		p.MDL = *mdl
+	} else {
+		p = p.WithScrubsPerYear(*scrubs)
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ltmttdl:", err)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "ltmttdl: -replicas must be >= 1")
+		os.Exit(2)
+	}
+
+	if err := run(p, *mission, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "ltmttdl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p model.Params, missionYears float64, replicas int) error {
+	out := os.Stdout
+	params := report.NewTable("Model parameters (hours)",
+		"MV", "ML", "MRV", "MRL", "MDL", "alpha")
+	params.MustAddRow(p.MV, p.ML, p.MRV, p.MRL, p.MDL, p.Alpha)
+	if err := params.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	mission := model.YearsToHours(missionYears)
+	approx, regime := p.Approximation()
+	mttdl := report.NewTable("Mirrored reliability",
+		"quantity", "value")
+	mttdl.MustAddRow("regime", regime.String())
+	mttdl.MustAddRow("MTTDL, clamped eq 7 (years)", model.Years(p.MTTDL()))
+	mttdl.MustAddRow("MTTDL, regime approximation (years)", model.Years(approx))
+	if closed := p.MTTDLClosedForm(); !math.IsInf(closed, 0) {
+		mttdl.MustAddRow("MTTDL, literal eq 8 (years)", model.Years(closed))
+	}
+	mttdl.MustAddRow(fmt.Sprintf("P(loss in %.0f years)", missionYears),
+		p.LossProbability(mission))
+	mttdl.MustAddRow("alpha lower bound 10*MRV/MV", p.AlphaLowerBound())
+	if err := mttdl.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	repl := report.NewTable("Replication scaling (eq 12; assumes MDL ~ 0 and similar fault classes)",
+		"replicas", "MTTDL (years)", fmt.Sprintf("P(loss in %.0fy)", missionYears))
+	for r := 1; r <= replicas; r++ {
+		m := p.ReplicatedMTTDL(r)
+		repl.MustAddRow(r, model.Years(m), model.FaultProbability(mission, m))
+	}
+	if err := repl.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	sens := report.NewTable("Strategy sensitivity: improve each §6 lever 2x",
+		"lever", "MTTDL gain", "local elasticity")
+	for _, s := range p.Sensitivities(2) {
+		sens.MustAddRow(string(s.Lever), s.Gain, s.Elasticity)
+	}
+	return sens.Render(out)
+}

@@ -1,0 +1,75 @@
+// Independence: the §5.5/§6.5 argument as a planning exercise. Three ways
+// to place three replicas — one machine room, three cities under one ops
+// team, and the full British-Library posture — face identical per-replica
+// threat rates; only the sharing differs. Simulated MTTDL shows why
+// "replication without increasing independence does not help much".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Shared-component failure behaviour per independence dimension:
+	// regional disasters are rare and visible; admin mistakes are common
+	// and latent; software epidemics sit in between (§3, §4.2).
+	rates := repro.ShockRates{
+		repro.Geography:      {Mean: 40000, Kind: repro.FaultVisible, HitProb: 1},
+		repro.Administration: {Mean: 10000, Kind: repro.FaultLatent, HitProb: 0.9},
+		repro.Software:       {Mean: 25000, Kind: repro.FaultLatent, HitProb: 1},
+	}
+
+	topologies := []struct {
+		label string
+		top   repro.Topology
+	}{
+		{"one machine room (colocated)", repro.Colocated(3)},
+		{"three cities, one ops team", repro.GeoDistributed(3)},
+		{"fully independent (BL posture)", repro.FullyIndependent(3)},
+	}
+
+	scrubber, err := repro.PeriodicScrub(8760.0/1000, 0) // every 1000 h
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := repro.AutomatedRepair(24, 24, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-34s %14s %16s %20s\n", "placement", "independence", "MTTDL (years)", "P(loss in 50y)")
+	for _, tc := range topologies {
+		shocks, err := tc.top.CompileShocks(rates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := repro.SimConfig{
+			Replicas:    3,
+			VisibleMean: 50000, // per-replica media faults underneath
+			LatentMean:  50000,
+			Scrub:       scrubber,
+			Repair:      rep,
+			Correlation: repro.IndependentReplicas(), // correlation enters via shocks
+			Shocks:      shocks,
+		}
+		runner, err := repro.NewRunner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := runner.Estimate(repro.SimOptions{Trials: 400, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		years := repro.Years(est.MTTDL.Point)
+		fmt.Printf("%-34s %14.2f %16.1f %19.1f%%\n",
+			tc.label, tc.top.IndependenceScore(), years,
+			100*repro.FaultProbability(repro.YearsToHours(50), est.MTTDL.Point))
+	}
+
+	fmt.Println()
+	fmt.Println("every replica sees the same marginal hazard in all three rows;")
+	fmt.Println("the spread is pure correlation — the paper's α, made mechanical (§4.2, §6.5)")
+}

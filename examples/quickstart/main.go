@@ -1,0 +1,62 @@
+// Quickstart: evaluate the paper's §5.4 worked scenarios through the
+// analytic model, then check one of them against the physical Monte Carlo
+// simulator — the two core capabilities of the library in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	mission := repro.YearsToHours(50)
+
+	fmt.Println("== Baker et al. §5.4 worked scenarios (analytic model) ==")
+	fmt.Println()
+	scenarios := []struct {
+		name  string
+		p     repro.Params
+		eval  func(repro.Params) float64 // the paper's own procedure
+		paper float64
+	}{
+		{"no scrubbing", repro.PaperNoScrub(), repro.Params.MTTDL, 32.0},
+		{"scrub 3x/year", repro.PaperScrubbed(), repro.Params.LatentDominatedMTTDL, 6128.7},
+		{"scrubbed, alpha=0.1", repro.PaperCorrelated(), repro.Params.LatentDominatedMTTDL, 612.9},
+		{"negligent latent handling", repro.PaperNegligent(), repro.Params.LongLatentWOVMTTDL, 159.8},
+	}
+	for _, s := range scenarios {
+		mttdl := s.eval(s.p)
+		fmt.Printf("%-28s MTTDL %8.1f years (paper: %7.1f)   P(loss in 50y) = %5.1f%%\n",
+			s.name, repro.Years(mttdl), s.paper,
+			100*repro.FaultProbability(mission, mttdl))
+	}
+
+	fmt.Println()
+	fmt.Println("== The same scrubbed mirror, physically simulated ==")
+	fmt.Println()
+	cfg, err := repro.PaperSimConfig(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner, err := repro.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := runner.Estimate(repro.SimOptions{Trials: 400, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated MTTDL: %.0f years (95%% CI %.0f-%.0f) over %d run-to-loss trials\n",
+		repro.Years(est.MTTDL.Point), repro.Years(est.MTTDL.Lo), repro.Years(est.MTTDL.Hi), est.Trials)
+	fmt.Printf("analytic eq 7 for the pair convention: %.0f years\n",
+		repro.Years(cfg.ModelParams().MTTDL()/2))
+	fmt.Println()
+
+	fmt.Println("== What should you invest in next? (§6 strategy ranking) ==")
+	fmt.Println()
+	for _, s := range repro.PaperCorrelated().Sensitivities(2) {
+		fmt.Printf("improve %-6s 2x  ->  MTTDL x%.2f\n", s.Lever, s.Gain)
+	}
+}

@@ -1,0 +1,90 @@
+// Scrub policy: pick an audit frequency for an institutional archive by
+// sweeping the model (§6.2) and then validating the chosen policy with
+// the Monte Carlo simulator, including the §6.6 wear side effect that
+// makes "scrub constantly" the wrong answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// An institutional archive on consumer drives: §5.4 fault scales,
+	// automated repair at full-scan speed.
+	drive := repro.Barracuda200()
+	base := repro.Params{
+		MV:    drive.MTTFHours(),
+		ML:    drive.MTTFHours() / 5, // Schwarz ratio
+		MRV:   drive.FullScanHours(),
+		MRL:   drive.FullScanHours(),
+		Alpha: 0.1,
+	}
+
+	fmt.Println("== Analytic sweep: audit frequency vs reliability ==")
+	fmt.Printf("%14s %12s %16s %14s\n", "audits/year", "MDL (h)", "MTTDL (years)", "P(loss, 50y)")
+	mission := repro.YearsToHours(50)
+	bestPerYear, bestGainPerAudit := 0.0, 0.0
+	prevMTTDL := base.WithScrubsPerYear(0).MTTDL()
+	prevRate := 0.0
+	for _, perYear := range []float64{0.5, 1, 2, 3, 6, 12, 26, 52, 104} {
+		p := base.WithScrubsPerYear(perYear)
+		mttdl := p.MTTDL()
+		fmt.Printf("%14g %12.0f %16.0f %13.2g%%\n",
+			perYear, p.MDL, repro.Years(mttdl), 100*repro.FaultProbability(mission, mttdl))
+		// Marginal value: extra MTTDL years per extra audit/year.
+		gain := (repro.Years(mttdl) - repro.Years(prevMTTDL)) / (perYear - prevRate)
+		if gain > bestGainPerAudit {
+			bestGainPerAudit = gain
+			bestPerYear = perYear
+		}
+		prevMTTDL = mttdl
+		prevRate = perYear
+	}
+	fmt.Printf("\nsteepest marginal payoff at ~%g audits/year; beyond the repair floor (MRL=%.2f h) more auditing stops helping\n\n",
+		bestPerYear, base.MRL)
+
+	fmt.Println("== Monte Carlo check with 0.5% per-pass audit wear (§6.6) ==")
+	fmt.Printf("%14s %18s %22s\n", "audits/year", "MTTDL clean (y)", "MTTDL with wear (y)")
+	// Scaled fault means keep the wear-bearing simulation affordable;
+	// ratios carry the conclusion.
+	const scale = 20
+	for _, perYear := range []float64{2, 12, 52, 104, 365} {
+		scrubber, err := repro.PeriodicScrub(perYear, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := repro.AutomatedRepair(base.MRV, base.MRL, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := repro.SimConfig{
+			Replicas:    2,
+			VisibleMean: base.MV / scale,
+			LatentMean:  base.ML / scale,
+			Scrub:       scrubber,
+			Repair:      rep,
+			Correlation: repro.IndependentReplicas(),
+		}
+		clean := mustEstimate(cfg, 200)
+		cfg.AuditLatentFaultProb = 0.005
+		worn := mustEstimate(cfg, 200)
+		fmt.Printf("%14g %18.0f %22.0f\n", perYear,
+			repro.Years(clean.MTTDL.Point)*scale, repro.Years(worn.MTTDL.Point)*scale)
+	}
+	fmt.Println("\nwith wear, reliability peaks at a finite audit rate — §6.6's tradeoff, quantified")
+}
+
+func mustEstimate(cfg repro.SimConfig, trials int) repro.Estimate {
+	runner, err := repro.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := runner.Estimate(repro.SimOptions{Trials: trials, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return est
+}

@@ -1,0 +1,158 @@
+package aging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRemainingLifetimeMemorylessAtShapeOne(t *testing.T) {
+	// shape=1: residual life is exponential regardless of age.
+	src := rng.New(1)
+	const n = 200000
+	meanAt := func(age float64) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += RemainingLifetime(1, 1000, age, src)
+		}
+		return sum / n
+	}
+	fresh := meanAt(0)
+	old := meanAt(5000)
+	if math.Abs(fresh-1000)/1000 > 0.02 {
+		t.Errorf("fresh residual mean %v, want 1000", fresh)
+	}
+	if math.Abs(old-fresh)/fresh > 0.03 {
+		t.Errorf("aged residual mean %v differs from fresh %v; shape=1 must be memoryless", old, fresh)
+	}
+}
+
+func TestRemainingLifetimeWearOut(t *testing.T) {
+	// shape=3: an old component has much less residual life.
+	src := rng.New(2)
+	const n = 100000
+	meanAt := func(age float64) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += RemainingLifetime(3, 1000, age, src)
+		}
+		return sum / n
+	}
+	fresh := meanAt(0)
+	old := meanAt(1000)
+	if old >= fresh/2 {
+		t.Errorf("residual at age=scale %v should be far below fresh %v under wear-out", old, fresh)
+	}
+	// Always strictly positive.
+	for i := 0; i < 1000; i++ {
+		if v := RemainingLifetime(3, 1000, 5000, src); v <= 0 {
+			t.Fatalf("non-positive residual %v", v)
+		}
+	}
+}
+
+func TestRemainingLifetimeFreshMatchesWeibullMean(t *testing.T) {
+	// At age 0 the residual is a plain Weibull draw; its mean is
+	// scale * Gamma(1 + 1/k).
+	src := rng.New(3)
+	const n = 200000
+	shape, scale := 2.0, 700.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += RemainingLifetime(shape, scale, 0, src)
+	}
+	want := scale * math.Gamma(1+1/shape)
+	if got := sum / n; math.Abs(got-want)/want > 0.02 {
+		t.Errorf("fresh mean %v, want %v", got, want)
+	}
+}
+
+func TestPairConfigValidate(t *testing.T) {
+	good := SameBatch(3, 40000, 24, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []PairConfig{
+		{Shape: 0, MeanLife: 1000, RepairHours: 1},
+		{Shape: 1, MeanLife: 0, RepairHours: 1},
+		{Shape: 1, MeanLife: 1000, RepairHours: 0},
+		{Shape: 1, MeanLife: 1000, RepairHours: 1, InitialAges: [2]float64{-1, 0}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSimulatePairArgumentChecks(t *testing.T) {
+	cfg := SameBatch(1, 1000, 10, 0)
+	if _, err := SimulatePair(cfg, 0, 1000, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := SimulatePair(cfg, 10, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := cfg
+	bad.Shape = -1
+	if _, err := SimulatePair(bad, 10, 1000, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSimulatePairMemorylessMatchesTheory(t *testing.T) {
+	// shape=1 reduces to the exponential mirror: P(double fault within
+	// horizon) ≈ 1 - exp(-horizon / (MeanLife²/(2·R))).
+	cfg := SameBatch(1, 1000, 10, 0)
+	res, err := SimulatePair(cfg, 30000, 20000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mttdl := 1000.0 * 1000 / (2 * 10)
+	want := 1 - math.Exp(-20000/mttdl)
+	got := res.DoubleFaultProbability()
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("memoryless double-fault probability %v, want ~%v", got, want)
+	}
+	if res.Replacements == 0 {
+		t.Error("no replacements recorded")
+	}
+}
+
+// §6.5's claim, quantified: under wear-out mortality, same-batch pairs
+// suffer far more double faults than staggered pairs, while under
+// memoryless mortality batch age is irrelevant.
+func TestSameBatchPenaltyOnlyUnderWearOut(t *testing.T) {
+	const (
+		meanLife = 40000.0
+		repair   = 100.0
+		horizon  = 50000.0 // ~one procurement generation
+		trials   = 20000
+	)
+	run := func(cfg PairConfig) float64 {
+		res, err := SimulatePair(cfg, trials, horizon, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DoubleFaultProbability()
+	}
+	// Sharp wear-out (shape 8, the tight mortality clustering of one
+	// manufacturing batch): same batch vs half-life stagger. Over one
+	// generation the same-batch pair's failures cluster, the staggered
+	// pair's cannot.
+	same := run(SameBatch(8, meanLife, repair, 0))
+	staggered := run(RollingProcurement(8, meanLife, repair, 0.5))
+	if same < 3*staggered {
+		t.Errorf("wear-out same-batch double-fault probability %v should be >= 3x staggered %v", same, staggered)
+	}
+	// Memoryless: batch age must not matter (within MC noise).
+	sameExp := run(SameBatch(1, meanLife, repair, 0))
+	stagExp := run(RollingProcurement(1, meanLife, repair, 0.5))
+	if sameExp == 0 || stagExp == 0 {
+		t.Skip("insufficient events for the memoryless comparison")
+	}
+	if ratio := sameExp / stagExp; ratio > 1.5 || ratio < 0.67 {
+		t.Errorf("memoryless same/staggered ratio %v, want ~1", ratio)
+	}
+}

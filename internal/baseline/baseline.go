@@ -1,0 +1,174 @@
+// Package baseline implements the prior reliability models the paper
+// builds on and positions against (§5, §7):
+//
+//   - Patterson, Gibson & Katz (1988): the original RAID MTTDL model,
+//     double *visible* disk failures only.
+//   - Chen et al. (1994): the RAID survey extension with system crashes
+//     and uncorrectable bit errors encountered during reconstruction —
+//     the first of the lineage to price in latent-style faults.
+//   - A mirrored visible-only model, the α = 1 limit the paper notes its
+//     eq 9 "appropriately resembles".
+//
+// These are the comparators for the benches: the point of the paper's
+// model is what these miss (detection time MDL, correlation α, and
+// latent faults outside the device layer).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalid reports baseline parameters outside the model domain.
+var ErrInvalid = errors.New("baseline: invalid parameters")
+
+// PattersonRAID is the RAID reliability model of Patterson et al. (1988):
+// an array of TotalDisks disks organized into redundancy groups of
+// GroupSize disks, each group surviving any single failure. Data is lost
+// when a second disk in a group fails during the first disk's repair.
+type PattersonRAID struct {
+	// DiskMTTF is the mean time to failure of one disk, in hours.
+	DiskMTTF float64
+	// DiskMTTR is the mean time to repair/rebuild one disk, in hours.
+	DiskMTTR float64
+	// TotalDisks is the number of disks in the array (N).
+	TotalDisks int
+	// GroupSize is the number of disks in a redundancy group (G),
+	// including the parity disk. GroupSize = 2 is mirroring.
+	GroupSize int
+}
+
+// Validate reports whether the configuration is in the model's domain.
+func (p PattersonRAID) Validate() error {
+	if p.DiskMTTF <= 0 || math.IsNaN(p.DiskMTTF) {
+		return fmt.Errorf("%w: disk MTTF %v must be positive", ErrInvalid, p.DiskMTTF)
+	}
+	if p.DiskMTTR <= 0 || math.IsNaN(p.DiskMTTR) {
+		return fmt.Errorf("%w: disk MTTR %v must be positive", ErrInvalid, p.DiskMTTR)
+	}
+	if p.GroupSize < 2 {
+		return fmt.Errorf("%w: group size %d must be at least 2", ErrInvalid, p.GroupSize)
+	}
+	if p.TotalDisks < p.GroupSize {
+		return fmt.Errorf("%w: total disks %d below group size %d", ErrInvalid, p.TotalDisks, p.GroupSize)
+	}
+	return nil
+}
+
+// MTTDL returns the Patterson mean time to data loss,
+//
+//	MTTF² / (N · (G-1) · MTTR)
+//
+// in hours: the array loses data at the rate of first failures (N/MTTF)
+// times the probability ((G-1)·MTTR/MTTF) that a companion in the same
+// group fails during the rebuild window.
+func (p PattersonRAID) MTTDL() float64 {
+	return p.DiskMTTF * p.DiskMTTF /
+		(float64(p.TotalDisks) * float64(p.GroupSize-1) * p.DiskMTTR)
+}
+
+// LossProbability returns the probability of data loss within mission
+// hours under the memoryless assumption.
+func (p PattersonRAID) LossProbability(mission float64) float64 {
+	if mission <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-mission/p.MTTDL())
+}
+
+// ChenRAID extends PattersonRAID with the two channels Chen et al. (1994)
+// identified as dominating real arrays: uncorrectable bit errors
+// discovered while reading the surviving disks during reconstruction, and
+// system crashes that leave parity inconsistent just before a disk
+// failure.
+type ChenRAID struct {
+	PattersonRAID
+	// BitsPerDisk is the disk capacity in bits.
+	BitsPerDisk float64
+	// BitErrorRate is the irrecoverable read error probability per bit
+	// (e.g. 1e-14 for the §6.1 consumer drive).
+	BitErrorRate float64
+	// SystemMTTF is the mean time between system crashes, in hours.
+	// Zero or +Inf disables the crash channel (hardware RAID with NVRAM).
+	SystemMTTF float64
+	// SystemMTTR is the mean time to restore parity consistency after a
+	// crash, in hours.
+	SystemMTTR float64
+}
+
+// Validate reports whether the configuration is in the model's domain.
+func (c ChenRAID) Validate() error {
+	if err := c.PattersonRAID.Validate(); err != nil {
+		return err
+	}
+	if c.BitsPerDisk < 0 || math.IsNaN(c.BitsPerDisk) {
+		return fmt.Errorf("%w: bits per disk %v must be non-negative", ErrInvalid, c.BitsPerDisk)
+	}
+	if c.BitErrorRate < 0 || c.BitErrorRate > 1 || math.IsNaN(c.BitErrorRate) {
+		return fmt.Errorf("%w: bit error rate %v must be in [0,1]", ErrInvalid, c.BitErrorRate)
+	}
+	if c.SystemMTTF < 0 || c.SystemMTTR < 0 {
+		return fmt.Errorf("%w: system MTTF/MTTR must be non-negative", ErrInvalid)
+	}
+	return nil
+}
+
+// RebuildBitErrorProbability returns the probability that reconstructing
+// one failed disk — which reads every bit of the G-1 survivors — hits at
+// least one irrecoverable bit error: 1 - exp(-BER · bits · (G-1)).
+func (c ChenRAID) RebuildBitErrorProbability() float64 {
+	exponent := c.BitErrorRate * c.BitsPerDisk * float64(c.GroupSize-1)
+	return 1 - math.Exp(-exponent)
+}
+
+// doubleDiskRate is the Patterson channel as a loss rate per hour.
+func (c ChenRAID) doubleDiskRate() float64 {
+	return 1 / c.PattersonRAID.MTTDL()
+}
+
+// diskBitErrorRate is the rate of "disk failure whose rebuild hits a bit
+// error" events per hour.
+func (c ChenRAID) diskBitErrorRate() float64 {
+	firstFailures := float64(c.TotalDisks) / c.DiskMTTF
+	return firstFailures * c.RebuildBitErrorProbability()
+}
+
+// crashDiskRate is the rate of "system crash closely followed by a disk
+// failure while parity is inconsistent" events per hour. Disabled when
+// SystemMTTF is zero or infinite.
+func (c ChenRAID) crashDiskRate() float64 {
+	if c.SystemMTTF <= 0 || math.IsInf(c.SystemMTTF, 1) {
+		return 0
+	}
+	crashes := 1 / c.SystemMTTF
+	pDiskDuringWindow := float64(c.TotalDisks) * c.SystemMTTR / c.DiskMTTF
+	return crashes * pDiskDuringWindow
+}
+
+// MTTDL combines the three loss channels as competing exponentials.
+func (c ChenRAID) MTTDL() float64 {
+	rate := c.doubleDiskRate() + c.diskBitErrorRate() + c.crashDiskRate()
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// LossProbability returns the probability of data loss within mission
+// hours.
+func (c ChenRAID) LossProbability(mission float64) float64 {
+	if mission <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-mission/c.MTTDL())
+}
+
+// MirroredVisibleOnly returns the MTTDL of a mirrored pair under the
+// original RAID model restricted to visible faults: MV²/MRV. This is the
+// α = 1, no-latent limit of the paper's eq 9 and the "dangerous
+// assumption" strawman of §4 — it is what you believe if you assume all
+// faults are visible and independent.
+func MirroredVisibleOnly(mv, mrv float64) float64 {
+	return mv * mv / mrv
+}

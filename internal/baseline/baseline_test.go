@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+func TestPattersonWorkedExample(t *testing.T) {
+	// The 1988 paper's running example: 100 disks, groups of 10+1... use
+	// round numbers here: MTTF 30,000 h, MTTR 1 h, 100 disks, G=10.
+	p := PattersonRAID{DiskMTTF: 30000, DiskMTTR: 1, TotalDisks: 100, GroupSize: 10}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 30000.0 * 30000 / (100 * 9 * 1)
+	if got := p.MTTDL(); relErr(got, want) > 1e-12 {
+		t.Errorf("MTTDL = %v, want %v", got, want)
+	}
+}
+
+func TestPattersonMirrorMatchesPaperEq9(t *testing.T) {
+	// A mirrored pair with the paper's treatment: the paper models the
+	// pair as a unit with first-fault mean MV, so its eq 9 (alpha=1) is
+	// MV^2/MRV. Patterson's N=2, G=2 counts both disks as first-fault
+	// initiators, giving exactly half.
+	mv, mrv := model.PaperMV, model.PaperMRV
+	pair := PattersonRAID{DiskMTTF: mv, DiskMTTR: mrv, TotalDisks: 2, GroupSize: 2}
+	paperEq9 := model.Params{MV: mv, ML: math.Inf(1), MRV: mrv, MRL: 1, MDL: 0, Alpha: 1}.VisibleDominatedMTTDL()
+	if got, want := pair.MTTDL(), paperEq9/2; relErr(got, want) > 1e-12 {
+		t.Errorf("Patterson mirrored MTTDL = %v, want paper eq9/2 = %v", got, want)
+	}
+	if got := MirroredVisibleOnly(mv, mrv); relErr(got, paperEq9) > 1e-12 {
+		t.Errorf("MirroredVisibleOnly = %v, want eq9 with alpha=1 = %v", got, paperEq9)
+	}
+}
+
+func TestPattersonValidate(t *testing.T) {
+	good := PattersonRAID{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PattersonRAID{
+		{DiskMTTF: 0, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5},
+		{DiskMTTF: 1e5, DiskMTTR: -1, TotalDisks: 10, GroupSize: 5},
+		{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 1},
+		{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 3, GroupSize: 5},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, b)
+		}
+	}
+}
+
+func TestPattersonScaling(t *testing.T) {
+	base := PattersonRAID{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5}
+	// Twice the disks, half the MTTDL.
+	double := base
+	double.TotalDisks = 20
+	if got, want := double.MTTDL(), base.MTTDL()/2; relErr(got, want) > 1e-12 {
+		t.Errorf("doubling disks: MTTDL = %v, want %v", got, want)
+	}
+	// Twice the MTTF, four times the MTTDL (quadratic, like the paper's
+	// eq 9).
+	sturdier := base
+	sturdier.DiskMTTF *= 2
+	if got, want := sturdier.MTTDL(), base.MTTDL()*4; relErr(got, want) > 1e-12 {
+		t.Errorf("doubling MTTF: MTTDL = %v, want %v", got, want)
+	}
+}
+
+func TestChenReducesToPatterson(t *testing.T) {
+	chen := ChenRAID{
+		PattersonRAID: PattersonRAID{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5},
+		BitsPerDisk:   0, // no bit error channel
+		BitErrorRate:  0,
+		SystemMTTF:    0, // crash channel disabled
+	}
+	if err := chen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := chen.MTTDL(), chen.PattersonRAID.MTTDL(); relErr(got, want) > 1e-12 {
+		t.Errorf("Chen with channels disabled = %v, want Patterson %v", got, want)
+	}
+}
+
+func TestChenBitErrorChannelDominatesBigDisks(t *testing.T) {
+	// Chen et al.'s headline: for large disks, rebuild bit errors —
+	// latent faults — dominate double disk failures.
+	chen := ChenRAID{
+		PattersonRAID: PattersonRAID{DiskMTTF: 1e6, DiskMTTR: 10, TotalDisks: 8, GroupSize: 8},
+		BitsPerDisk:   200e9 * 8, // 200 GB disk (§6.1 Barracuda)
+		BitErrorRate:  1e-14,
+	}
+	if chen.diskBitErrorRate() <= chen.doubleDiskRate() {
+		t.Errorf("bit-error channel rate %v should dominate double-disk rate %v for 200GB consumer disks",
+			chen.diskBitErrorRate(), chen.doubleDiskRate())
+	}
+	// And the combined MTTDL must sit below the Patterson value.
+	if chen.MTTDL() >= chen.PattersonRAID.MTTDL() {
+		t.Error("Chen MTTDL should be strictly below Patterson when extra channels are live")
+	}
+}
+
+func TestChenRebuildBitErrorProbability(t *testing.T) {
+	chen := ChenRAID{
+		PattersonRAID: PattersonRAID{DiskMTTF: 1e6, DiskMTTR: 10, TotalDisks: 4, GroupSize: 4},
+		BitsPerDisk:   1e12,
+		BitErrorRate:  1e-13,
+	}
+	// exponent = 1e-13 * 1e12 * 3 = 0.3
+	want := 1 - math.Exp(-0.3)
+	if got := chen.RebuildBitErrorProbability(); relErr(got, want) > 1e-12 {
+		t.Errorf("rebuild bit error probability = %v, want %v", got, want)
+	}
+	// Probability must saturate, never exceed 1.
+	chen.BitErrorRate = 1
+	if got := chen.RebuildBitErrorProbability(); got > 1 {
+		t.Errorf("probability %v exceeds 1", got)
+	}
+}
+
+func TestChenCrashChannel(t *testing.T) {
+	base := ChenRAID{
+		PattersonRAID: PattersonRAID{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5},
+		SystemMTTF:    1000, // crashes every ~6 weeks (software RAID)
+		SystemMTTR:    1,
+	}
+	if base.crashDiskRate() <= 0 {
+		t.Fatal("crash channel should be live")
+	}
+	nvram := base
+	nvram.SystemMTTF = math.Inf(1)
+	if nvram.crashDiskRate() != 0 {
+		t.Error("infinite system MTTF should disable the crash channel")
+	}
+	if base.MTTDL() >= nvram.MTTDL() {
+		t.Error("crash channel should reduce MTTDL")
+	}
+}
+
+func TestChenValidate(t *testing.T) {
+	good := ChenRAID{
+		PattersonRAID: PattersonRAID{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5},
+		BitsPerDisk:   1e12, BitErrorRate: 1e-14, SystemMTTF: 1000, SystemMTTR: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.BitErrorRate = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bit error rate 2 accepted")
+	}
+	bad = good
+	bad.SystemMTTR = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative system MTTR accepted")
+	}
+	bad = good
+	bad.BitsPerDisk = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN capacity accepted")
+	}
+}
+
+func TestLossProbabilities(t *testing.T) {
+	p := PattersonRAID{DiskMTTF: 1e5, DiskMTTR: 10, TotalDisks: 10, GroupSize: 5}
+	if got := p.LossProbability(0); got != 0 {
+		t.Errorf("loss probability at 0 = %v", got)
+	}
+	mission := model.YearsToHours(50)
+	want := 1 - math.Exp(-mission/p.MTTDL())
+	if got := p.LossProbability(mission); relErr(got, want) > 1e-12 {
+		t.Errorf("loss probability = %v, want %v", got, want)
+	}
+}

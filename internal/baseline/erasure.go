@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// MarkovErasure is the birth–death Markov model of an m-of-n
+// erasure-coded object, the analytic tool behind Weatherspoon &
+// Kubiatowicz's "Erasure coding vs. replication" comparison that the
+// paper surveys in §7. n fragments are stored; any m suffice to recover.
+// Fragments fail independently at rate 1/FragmentMTTF and are repaired in
+// parallel at rate 1/FragmentMTTR each. Data die when n-m+1 fragments are
+// simultaneously failed.
+//
+// Replication is the m=1 special case, which ties this model to the
+// paper's eq 12 (with α = 1) and to the simulator's MinIntact knob.
+type MarkovErasure struct {
+	// N is the total number of fragments.
+	N int
+	// M is the number of fragments required to recover.
+	M int
+	// FragmentMTTF is the mean time to failure of one fragment, hours.
+	FragmentMTTF float64
+	// FragmentMTTR is the mean time to repair one failed fragment, hours.
+	FragmentMTTR float64
+}
+
+// Validate reports whether the configuration is in the model's domain.
+func (e MarkovErasure) Validate() error {
+	if e.M < 1 || e.N < e.M {
+		return fmt.Errorf("%w: need 1 <= m (%d) <= n (%d)", ErrInvalid, e.M, e.N)
+	}
+	if e.FragmentMTTF <= 0 || math.IsNaN(e.FragmentMTTF) {
+		return fmt.Errorf("%w: fragment MTTF %v must be positive", ErrInvalid, e.FragmentMTTF)
+	}
+	if e.FragmentMTTR <= 0 || math.IsNaN(e.FragmentMTTR) {
+		return fmt.Errorf("%w: fragment MTTR %v must be positive", ErrInvalid, e.FragmentMTTR)
+	}
+	return nil
+}
+
+// StorageOverhead returns n/m, the blow-up factor over storing the data
+// once — the axis on which erasure coding and replication are compared
+// fairly.
+func (e MarkovErasure) StorageOverhead() float64 {
+	return float64(e.N) / float64(e.M)
+}
+
+// MTTDL returns the mean time from all-fragments-healthy to data loss
+// (n-m+1 simultaneous failures), by solving the absorption-time system of
+// the birth–death chain exactly.
+//
+// State k holds k failed fragments; failures arrive at (n-k)/MTTF,
+// repairs complete at k/MTTR (parallel repair), and state n-m+1 absorbs.
+func (e MarkovErasure) MTTDL() (float64, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	absorb := e.N - e.M + 1
+	lambda := func(k int) float64 { return float64(e.N-k) / e.FragmentMTTF }
+	mu := func(k int) float64 { return float64(k) / e.FragmentMTTR }
+
+	// T[k] = expected time to absorption from state k, T[absorb] = 0,
+	// with (λ_k + μ_k)·T[k] = 1 + λ_k·T[k+1] + μ_k·T[k-1].
+	//
+	// Because the chain only absorbs upward, the increments
+	// a_k = T[k] - T[k+1] satisfy the first-order recurrence
+	// λ_k·a_k = 1 + μ_k·a_{k-1}, a_0 = 1/λ_0: every term is positive,
+	// so the evaluation is numerically stable even for the extreme
+	// repair-to-failure ratios archival systems have.
+	t := 0.0
+	aPrev := 0.0
+	for k := 0; k < absorb; k++ {
+		aPrev = (1 + mu(k)*aPrev) / lambda(k)
+		t += aPrev
+	}
+	return t, nil
+}
+
+// LossProbability returns P(loss within mission hours) under the
+// memoryless approximation on the MTTDL.
+func (e MarkovErasure) LossProbability(mission float64) (float64, error) {
+	mttdl, err := e.MTTDL()
+	if err != nil {
+		return 0, err
+	}
+	if mission <= 0 {
+		return 0, nil
+	}
+	return 1 - math.Exp(-mission/mttdl), nil
+}
+
+// EqualOverheadComparison returns an m-of-n erasure configuration with
+// (approximately) the same storage overhead as r-way replication of the
+// same data, using n = r·m fragments: the apples-to-apples setup of the
+// Weatherspoon comparison.
+func EqualOverheadComparison(r, m int, fragmentMTTF, fragmentMTTR float64) (replicated, erasure MarkovErasure) {
+	replicated = MarkovErasure{N: r, M: 1, FragmentMTTF: fragmentMTTF, FragmentMTTR: fragmentMTTR}
+	erasure = MarkovErasure{N: r * m, M: m, FragmentMTTF: fragmentMTTF, FragmentMTTR: fragmentMTTR}
+	return replicated, erasure
+}

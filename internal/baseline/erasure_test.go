@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarkovErasureValidate(t *testing.T) {
+	good := MarkovErasure{N: 8, M: 2, FragmentMTTF: 1e5, FragmentMTTR: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MarkovErasure{
+		{N: 2, M: 0, FragmentMTTF: 1e5, FragmentMTTR: 10},
+		{N: 2, M: 3, FragmentMTTF: 1e5, FragmentMTTR: 10},
+		{N: 4, M: 2, FragmentMTTF: 0, FragmentMTTR: 10},
+		{N: 4, M: 2, FragmentMTTF: 1e5, FragmentMTTR: -1},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, e)
+		}
+	}
+	if _, err := (MarkovErasure{N: 2, M: 3, FragmentMTTF: 1, FragmentMTTR: 1}).MTTDL(); err == nil {
+		t.Error("MTTDL accepted invalid config")
+	}
+}
+
+// The mirrored special case has the exact closed form
+// MTTDL = (3λ + μ) / (2λ²) for failure rate λ and repair rate μ.
+func TestMarkovMirrorExact(t *testing.T) {
+	e := MarkovErasure{N: 2, M: 1, FragmentMTTF: 1e5, FragmentMTTR: 10}
+	got, err := e.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 1.0 / 1e5
+	mu := 1.0 / 10
+	want := (3*lambda + mu) / (2 * lambda * lambda)
+	if relErr(got, want) > 1e-9 {
+		t.Errorf("mirrored MTTDL = %v, want exact %v", got, want)
+	}
+	// And, with fast repair, half the paper-convention eq 9 (the
+	// birth-death chain counts both replicas as first-fault initiators).
+	if approx := 1e5 * 1e5 / (2 * 10); relErr(got, approx) > 0.01 {
+		t.Errorf("mirrored MTTDL = %v, want ~MTTF²/(2·MTTR) = %v", got, approx)
+	}
+}
+
+// Absorption from a single fragment (n=1, m=1): MTTDL is just the MTTF.
+func TestMarkovSingleFragment(t *testing.T) {
+	e := MarkovErasure{N: 1, M: 1, FragmentMTTF: 12345, FragmentMTTR: 1}
+	got, err := e.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, 12345) > 1e-12 {
+		t.Errorf("single-fragment MTTDL = %v, want MTTF", got)
+	}
+}
+
+// No-repair chains have the closed form of a pure death process: the sum
+// of expected holding times 1/λ_k.
+func TestMarkovNoRepairLimit(t *testing.T) {
+	// Make repair hopeless (MTTR enormous) and compare against the pure
+	// death process sum for n=3, m=1: 1/(3λ) + 1/(2λ) + 1/λ.
+	lambda := 1.0 / 1000
+	e := MarkovErasure{N: 3, M: 1, FragmentMTTF: 1000, FragmentMTTR: 1e15}
+	got, err := e.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1/(3*lambda) + 1/(2*lambda) + 1/lambda
+	if relErr(got, want) > 1e-6 {
+		t.Errorf("no-repair MTTDL = %v, want death-process sum %v", got, want)
+	}
+}
+
+func TestMarkovMonotonicity(t *testing.T) {
+	base := MarkovErasure{N: 6, M: 3, FragmentMTTF: 1e5, FragmentMTTR: 10}
+	baseline, err := base.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faster repair helps.
+	fast := base
+	fast.FragmentMTTR = 1
+	if v, _ := fast.MTTDL(); v <= baseline {
+		t.Errorf("faster repair MTTDL %v should exceed %v", v, baseline)
+	}
+	// Sturdier fragments help.
+	sturdy := base
+	sturdy.FragmentMTTF = 1e6
+	if v, _ := sturdy.MTTDL(); v <= baseline {
+		t.Errorf("sturdier fragments MTTDL %v should exceed %v", v, baseline)
+	}
+	// Extra fragments at the same m help.
+	wider := base
+	wider.N = 7
+	if v, _ := wider.MTTDL(); v <= baseline {
+		t.Errorf("wider code MTTDL %v should exceed %v", v, baseline)
+	}
+	// Needing more fragments at the same n hurts.
+	needier := base
+	needier.M = 4
+	if v, _ := needier.MTTDL(); v >= baseline {
+		t.Errorf("needier code MTTDL %v should fall below %v", v, baseline)
+	}
+}
+
+// Weatherspoon & Kubiatowicz's headline: at equal storage overhead,
+// erasure coding buys orders of magnitude over replication.
+func TestErasureBeatsReplicationAtEqualOverhead(t *testing.T) {
+	repl, erasure := EqualOverheadComparison(4, 4, 1e5, 10)
+	if repl.StorageOverhead() != 4 || erasure.StorageOverhead() != 4 {
+		t.Fatalf("overheads %v, %v; want both 4", repl.StorageOverhead(), erasure.StorageOverhead())
+	}
+	a, err := repl.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := erasure.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 100*a {
+		t.Errorf("16-of-4 erasure MTTDL %v should dwarf 4-way replication %v", b, a)
+	}
+}
+
+func TestMarkovLossProbability(t *testing.T) {
+	e := MarkovErasure{N: 2, M: 1, FragmentMTTF: 1e5, FragmentMTTR: 10}
+	if p, _ := e.LossProbability(0); p != 0 {
+		t.Errorf("loss at t=0 = %v", p)
+	}
+	mttdl, _ := e.MTTDL()
+	p, err := e.LossProbability(mttdl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - math.Exp(-1); relErr(p, want) > 1e-9 {
+		t.Errorf("loss at MTTDL = %v, want %v", p, want)
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/replica"
+	"repro/internal/storage"
+	"repro/internal/threat"
+)
+
+func demoSystem() System {
+	return System{
+		Name:          "consumer mirror",
+		Drive:         storage.Barracuda200(),
+		Replicas:      2,
+		ScrubsPerYear: 3,
+		ArchiveGB:     5000,
+		MissionYears:  20,
+		Economics: Economics{
+			AuditCostPerPass:      0.05,
+			PowerWattsPerDrive:    10,
+			PowerCostPerKWh:       0.1,
+			AdminCostPerDriveYear: 20,
+		},
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	s := demoSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := s.withDefaults()
+	if d.MinIntact != 1 {
+		t.Errorf("default MinIntact = %d, want 1", d.MinIntact)
+	}
+	if d.LatentFactor != model.SchwarzLatentFactor {
+		t.Errorf("default latent factor = %v, want Schwarz %v", d.LatentFactor, model.SchwarzLatentFactor)
+	}
+	if d.Alpha != 1 {
+		t.Errorf("default alpha = %v, want 1", d.Alpha)
+	}
+	if d.RepairHours != s.Drive.FullScanHours() {
+		t.Errorf("default repair = %v, want full scan %v", d.RepairHours, s.Drive.FullScanHours())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+	}{
+		{"zero replicas", func(s *System) { s.Replicas = 0 }},
+		{"min intact above replicas", func(s *System) { s.MinIntact = 3 }},
+		{"negative scrubs", func(s *System) { s.ScrubsPerYear = -1 }},
+		{"bad alpha", func(s *System) { s.Alpha = 2 }},
+		{"bad latent factor", func(s *System) { s.LatentFactor = -5 }},
+		{"zero archive", func(s *System) { s.ArchiveGB = 0 }},
+		{"bad drive", func(s *System) { s.Drive.CapacityGB = 0 }},
+		{"negative repair", func(s *System) { s.RepairHours = -1 }},
+		{"topology size mismatch", func(s *System) {
+			top := replica.Colocated(3)
+			s.Topology = &top
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := demoSystem()
+			c.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestModelParamsDerivation(t *testing.T) {
+	s := demoSystem()
+	p := s.ModelParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.MV, s.Drive.MTTFHours(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MV = %v, want drive MTTF %v", got, want)
+	}
+	if got, want := p.ML, p.MV/5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ML = %v, want MV/5", got)
+	}
+	if got, want := p.MDL, model.HoursPerYear/3/2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MDL = %v, want %v", got, want)
+	}
+}
+
+func TestAssessMirror(t *testing.T) {
+	a, err := demoSystem().Assess(AssessOptions{Trials: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AnalyticMTTDLYears <= 0 {
+		t.Errorf("analytic MTTDL = %v", a.AnalyticMTTDLYears)
+	}
+	if a.SimMissionLoss.Point < 0 || a.SimMissionLoss.Point > 1 {
+		t.Errorf("mission loss = %v", a.SimMissionLoss.Point)
+	}
+	if a.Cost.Total() <= 0 || a.CostPerTBYear <= 0 {
+		t.Errorf("degenerate cost %v / %v", a.Cost.Total(), a.CostPerTBYear)
+	}
+	if len(a.Advice) == 0 {
+		t.Error("no strategy advice")
+	}
+	// No topology: every correlating threat is exposed.
+	if len(a.ExposedThreats) == 0 {
+		t.Error("single-room deployment should expose correlated threats")
+	}
+}
+
+func TestAssessRunToLoss(t *testing.T) {
+	s := demoSystem()
+	s.ScrubsPerYear = 1
+	a, err := s.Assess(AssessOptions{Trials: 150, Seed: 2, RunToLoss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimMTTDLYears.Point <= 0 {
+		t.Errorf("run-to-loss MTTDL = %v", a.SimMTTDLYears.Point)
+	}
+	if a.SimMTTDLYears.Lo > a.SimMTTDLYears.Point || a.SimMTTDLYears.Hi < a.SimMTTDLYears.Point {
+		t.Errorf("malformed CI %+v", a.SimMTTDLYears)
+	}
+	if a.SimMissionLoss.Point < 0 || a.SimMissionLoss.Point > 1 {
+		t.Errorf("mission loss = %v", a.SimMissionLoss.Point)
+	}
+	if a.SimMissionLoss.Lo > a.SimMissionLoss.Hi {
+		t.Errorf("inverted loss interval %+v", a.SimMissionLoss)
+	}
+}
+
+func TestExposedThreatsByTopology(t *testing.T) {
+	s := demoSystem()
+	colo := replica.Colocated(2)
+	s.Topology = &colo
+	all := len(s.ExposedThreats())
+	indep := replica.FullyIndependent(2)
+	s.Topology = &indep
+	none := len(s.ExposedThreats())
+	if none != 0 {
+		t.Errorf("fully independent topology exposes %d threats, want 0", none)
+	}
+	if all == 0 {
+		t.Error("colocated topology exposes no threats")
+	}
+	geo := replica.GeoDistributed(2)
+	s.Topology = &geo
+	some := s.ExposedThreats()
+	for _, th := range some {
+		if th == threat.LargeScaleDisaster {
+			t.Error("geo-distributed placement should not expose large-scale disaster")
+		}
+	}
+	if len(some) == 0 || len(some) >= all {
+		t.Errorf("geo-distributed exposure %d should sit between 0 and colocated %d", len(some), all)
+	}
+}
+
+func TestAssessErasure(t *testing.T) {
+	s := demoSystem()
+	s.Replicas = 4
+	s.MinIntact = 2
+	a, err := s.Assess(AssessOptions{Trials: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(a.AnalyticMTTDLYears) {
+		t.Errorf("erasure analytic MTTDL = %v, want NaN (no eq-7 form)", a.AnalyticMTTDLYears)
+	}
+}
+
+func TestAssessSingleCopy(t *testing.T) {
+	s := demoSystem()
+	s.Replicas = 1
+	a, err := s.Assess(AssessOptions{Trials: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.Years(s.ModelParams().MV)
+	if math.Abs(a.AnalyticMTTDLYears-want)/want > 1e-9 {
+		t.Errorf("single-copy analytic MTTDL = %v years, want MV = %v", a.AnalyticMTTDLYears, want)
+	}
+}
+
+func TestAssessWithTopologyShocks(t *testing.T) {
+	s := demoSystem()
+	s.Replicas = 3
+	colo := replica.Colocated(3)
+	s.Topology = &colo
+	s.ThreatMeans = map[threat.Threat]float64{
+		threat.HumanError: 8760 * 2,
+	}
+	cfg, err := s.SimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Shocks) == 0 {
+		t.Fatal("topology with threat means produced no shocks")
+	}
+	a, err := s.Assess(AssessOptions{Trials: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shared admin-error channel every 2 years must raise mission
+	// loss probability well above the shock-free system's.
+	noShock := demoSystem()
+	noShock.Replicas = 3
+	b, err := noShock.Assess(AssessOptions{Trials: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimMissionLoss.Point <= b.SimMissionLoss.Point {
+		t.Errorf("shared admin shocks: loss %v should exceed shock-free %v",
+			a.SimMissionLoss.Point, b.SimMissionLoss.Point)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	mirror := demoSystem()
+	triple := demoSystem()
+	triple.Name = "consumer triple"
+	triple.Replicas = 3
+	out, err := Compare([]System{mirror, triple}, AssessOptions{Trials: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d assessments", len(out))
+	}
+	if out[0].System.Name != "consumer mirror" || out[1].System.Name != "consumer triple" {
+		t.Error("Compare must preserve input order")
+	}
+	if out[1].Cost.Total() <= out[0].Cost.Total() {
+		t.Error("triple should cost more than mirror")
+	}
+	bad := demoSystem()
+	bad.Replicas = 0
+	if _, err := Compare([]System{bad}, AssessOptions{}); err == nil {
+		t.Error("Compare accepted an invalid system")
+	}
+}

@@ -1,0 +1,205 @@
+// Package des is a minimal deterministic discrete-event simulation engine:
+// a simulation clock plus a priority queue of scheduled callbacks.
+//
+// The Monte Carlo reliability simulator in internal/sim is built on top of
+// it. Two properties matter there and shape the design:
+//
+//   - Determinism. Events at equal times fire in scheduling order (FIFO
+//     tie-break by sequence number), so a trial is a pure function of its
+//     random seed.
+//   - Cheap cancellation. Fault/repair/audit processes constantly
+//     invalidate each other's pending events (a repaired replica cancels
+//     its pending second-fault event). Cancellation is O(1) by marking;
+//     dead events are dropped lazily when popped.
+//
+// Time is a float64 in hours, consistent with the rest of the repository.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in hours.
+type Time = float64
+
+// Handler is a callback invoked when its event fires. It runs on the
+// engine's single logical thread: handlers may schedule and cancel freely
+// but must not retain the engine across goroutines.
+type Handler func(e *Engine)
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	at        Time
+	seq       uint64
+	fn        Handler
+	index     int // position in the heap, -1 once popped or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op, so owners can Cancel defensively.
+func (h *Handle) Cancel() {
+	if h == nil {
+		return
+	}
+	h.cancelled = true
+	h.fn = nil // release closure for GC; heap entry is dropped lazily
+}
+
+// Cancelled reports whether Cancel was called.
+func (h *Handle) Cancelled() bool { return h != nil && h.cancelled }
+
+// At returns the simulation time the event is (or was) scheduled for.
+func (h *Handle) At() Time { return h.at }
+
+// Engine is a discrete-event scheduler. The zero value is ready to use at
+// time 0.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+
+	// Fired counts handler invocations, for tests and run statistics.
+	fired uint64
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events that have fired.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled (possibly cancelled but not yet
+// dropped) events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule registers fn to run at absolute time at. It panics if at is
+// before the current time or not a finite number: scheduling into the past
+// is always a simulator bug, and failing loudly at the call site is the
+// only useful behaviour.
+func (e *Engine) Schedule(at Time, fn Handler) *Handle {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("des: Schedule at non-finite time %v", at))
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("des: Schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("des: Schedule with nil handler")
+	}
+	h := &Handle{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, h)
+	return h
+}
+
+// ScheduleAfter registers fn to run delay hours from now. Negative delays
+// panic; a zero delay fires after all events already scheduled for the
+// current instant (FIFO).
+func (e *Engine) ScheduleAfter(delay Time, fn Handler) *Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: ScheduleAfter negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its time. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		h := heap.Pop(&e.queue).(*Handle)
+		if h.cancelled {
+			continue
+		}
+		e.now = h.at
+		fn := h.fn
+		h.fn = nil
+		e.fired++
+		fn(e)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires all events scheduled at or before horizon (unless Stop is
+// called), then advances the clock to horizon. It panics if horizon is in
+// the past.
+func (e *Engine) RunUntil(horizon Time) {
+	if horizon < e.now {
+		panic(fmt.Sprintf("des: RunUntil horizon %v before now %v", horizon, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		h := e.peekLive()
+		if h == nil || h.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Stop halts Run/RunUntil after the current handler returns. The queue is
+// left intact so the run can be resumed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop was called during the last Run/RunUntil.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*Handle
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	h := x.(*Handle)
+	h.index = len(*q)
+	*q = append(*q, h)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	h := old[n-1]
+	old[n-1] = nil
+	h.index = -1
+	*q = old[:n-1]
+	return h
+}
+
+// peekLive returns the earliest non-cancelled event without firing it,
+// dropping cancelled entries it encounters at the head.
+func (e *Engine) peekLive() *Handle {
+	for e.queue.Len() > 0 {
+		if h := e.queue[0]; !h.cancelled {
+			return h
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

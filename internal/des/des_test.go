@@ -1,0 +1,285 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %v, want 3", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: order = %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(*Engine) {})
+}
+
+func TestScheduleInvalidPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(e *Engine)
+	}{
+		{"nan", func(e *Engine) { e.Schedule(nan(), func(*Engine) {}) }},
+		{"nil handler", func(e *Engine) { e.Schedule(1, nil) }},
+		{"negative delay", func(e *Engine) { e.ScheduleAfter(-1, func(*Engine) {}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			var e Engine
+			c.f(&e)
+		})
+	}
+}
+
+func nan() float64 {
+	v := 0.0
+	return v / v
+}
+
+func TestHandlerSchedulesMore(t *testing.T) {
+	var e Engine
+	var times []Time
+	var chain func(e *Engine)
+	chain = func(e *Engine) {
+		times = append(times, e.Now())
+		if len(times) < 5 {
+			e.ScheduleAfter(2, chain)
+		}
+	}
+	e.Schedule(1, chain)
+	e.Run()
+	want := []Time{1, 3, 5, 7, 9}
+	if len(times) != len(want) {
+		t.Fatalf("chain times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("chain times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	h := e.Schedule(1, func(*Engine) { fired = true })
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Error("handle should report cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel and cancel-after-run are no-ops.
+	h.Cancel()
+	var nilHandle *Handle
+	nilHandle.Cancel() // must not panic
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	var e Engine
+	var secondFired bool
+	var h2 *Handle
+	e.Schedule(1, func(*Engine) { h2.Cancel() })
+	h2 = e.Schedule(2, func(*Engine) { secondFired = true })
+	e.Run()
+	if secondFired {
+		t.Error("event cancelled by an earlier handler still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{1, 5, 10, 15} {
+		at := at
+		e.Schedule(at, func(e *Engine) { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(10)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1,5,10", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	// Continue to the rest.
+	e.RunUntil(20)
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Errorf("after second RunUntil: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Errorf("idle clock = %v, want 42", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil into the past did not panic")
+		}
+	}()
+	e.RunUntil(41)
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func(e *Engine) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("events fired = %d, want 3 (stopped)", count)
+	}
+	if !e.Stopped() {
+		t.Error("engine should report stopped")
+	}
+	// Resume processes the rest.
+	e.Run()
+	if count != 10 {
+		t.Errorf("after resume, events fired = %d, want 10", count)
+	}
+}
+
+func TestStopDuringRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i), func(e *Engine) {
+			count++
+			e.Stop()
+		})
+	}
+	e.RunUntil(10)
+	if count != 1 {
+		t.Errorf("fired %d, want 1", count)
+	}
+	// The clock must not jump to the horizon when stopped early.
+	if e.Now() != 1 {
+		t.Errorf("clock = %v, want 1 (stopped before horizon)", e.Now())
+	}
+}
+
+func TestDeterministicUnderPermutation(t *testing.T) {
+	// The firing order depends only on (time, scheduling order), so two
+	// engines given the same schedule produce identical traces.
+	f := func(rawTimes []uint16) bool {
+		if len(rawTimes) == 0 {
+			return true
+		}
+		times := make([]Time, len(rawTimes))
+		for i, r := range rawTimes {
+			times[i] = Time(r % 100)
+		}
+		run := func() []Time {
+			var e Engine
+			var trace []Time
+			for _, at := range times {
+				at := at
+				e.Schedule(at, func(e *Engine) { trace = append(trace, e.Now()) })
+			}
+			e.Run()
+			return trace
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return sort.Float64sAreSorted(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroDelayFIFO(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(1, func(e *Engine) {
+		order = append(order, "first")
+		e.ScheduleAfter(0, func(*Engine) { order = append(order, "chained") })
+	})
+	e.Schedule(1, func(*Engine) { order = append(order, "second") })
+	e.Run()
+	want := []string{"first", "second", "chained"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPendingCountsCancelled(t *testing.T) {
+	var e Engine
+	h := e.Schedule(1, func(*Engine) {})
+	e.Schedule(2, func(*Engine) {})
+	h.Cancel()
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 (lazy deletion)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("pending after run = %d, want 0", e.Pending())
+	}
+	if e.Fired() != 1 {
+		t.Errorf("fired = %d, want 1", e.Fired())
+	}
+}

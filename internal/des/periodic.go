@@ -1,0 +1,58 @@
+package des
+
+import "fmt"
+
+// Ticker repeatedly invokes a handler at a fixed period, the shape of a
+// periodic scrub schedule. It reschedules itself after each firing until
+// stopped.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      Handler
+	pending *Handle
+	stopped bool
+
+	// Count is the number of completed firings.
+	Count int
+}
+
+// Every schedules fn to run at start and then every period hours. It
+// panics on a non-positive period (a zero period would livelock the
+// engine at a single instant).
+func (e *Engine) Every(start, period Time, fn Handler) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: Every with non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.pending = e.Schedule(start, t.fire)
+	return t
+}
+
+func (t *Ticker) fire(e *Engine) {
+	if t.stopped {
+		return
+	}
+	t.Count++
+	t.fn(e)
+	if !t.stopped { // handler may have called Stop
+		t.pending = e.ScheduleAfter(t.period, t.fire)
+	}
+}
+
+// Stop cancels future firings. Safe to call from within the handler.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.pending.Cancel()
+}
+
+// Stopped reports whether Stop was called.
+func (t *Ticker) Stopped() bool { return t.stopped }
+
+// Next returns the time of the next scheduled firing and whether one is
+// pending.
+func (t *Ticker) Next() (Time, bool) {
+	if t.stopped || t.pending == nil || t.pending.Cancelled() {
+		return 0, false
+	}
+	return t.pending.At(), true
+}

@@ -1,0 +1,79 @@
+package des
+
+import "testing"
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	var e Engine
+	var times []Time
+	e.Every(10, 5, func(e *Engine) { times = append(times, e.Now()) })
+	e.RunUntil(31)
+	want := []Time{10, 15, 20, 25, 30}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	var e Engine
+	count := 0
+	tk := e.Every(0, 1, func(*Engine) { count++ })
+	e.Schedule(3.5, func(*Engine) { tk.Stop() })
+	e.RunUntil(10)
+	if count != 4 { // fires at 0,1,2,3
+		t.Errorf("ticker fired %d times, want 4", count)
+	}
+	if !tk.Stopped() {
+		t.Error("ticker should report stopped")
+	}
+	if _, ok := tk.Next(); ok {
+		t.Error("stopped ticker should have no next firing")
+	}
+	if tk.Count != 4 {
+		t.Errorf("Count = %d, want 4", tk.Count)
+	}
+}
+
+func TestTickerStopFromOwnHandler(t *testing.T) {
+	var e Engine
+	count := 0
+	var tk *Ticker
+	tk = e.Every(0, 2, func(*Engine) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Errorf("self-stopping ticker fired %d times, want 3", count)
+	}
+}
+
+func TestTickerNext(t *testing.T) {
+	var e Engine
+	tk := e.Every(7, 3, func(*Engine) {})
+	next, ok := tk.Next()
+	if !ok || next != 7 {
+		t.Errorf("Next() = %v, %v; want 7, true", next, ok)
+	}
+	e.RunUntil(8)
+	next, ok = tk.Next()
+	if !ok || next != 10 {
+		t.Errorf("Next() after first firing = %v, %v; want 10, true", next, ok)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every with period 0 did not panic")
+		}
+	}()
+	var e Engine
+	e.Every(0, 0, func(*Engine) {})
+}

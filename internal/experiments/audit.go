@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/repair"
+	"repro/internal/report"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E8",
+		Title:  "Audit strategies: scrub frequency sweep and disk-vs-tape replica economics",
+		Source: "§6.2",
+		Run:    runE8,
+	})
+}
+
+// runE8 reproduces §6.2's two arguments: (1) MDL is half the audit
+// interval, so MTTDL grows nearly linearly in audit frequency until the
+// repair floor; (2) auditing offline (tape) replicas is slow, expensive,
+// and itself a fault source, so online disk replicas win — the paper's
+// "Would it be better to replicate an archive on tape or on disk? (Disk)".
+func runE8(cfg RunConfig) (*Result, error) {
+	res := &Result{ID: "E8", Title: "Audit strategy economics (§6.2)"}
+
+	// Part 1: scrub-frequency sweep through the model at paper scale.
+	sweep := report.NewTable("Scrub frequency vs reliability (paper §5.4 parameters, eq 7 clamped)",
+		"audits/year", "MDL (hours)", "MTTDL (years)", "P(loss in 50y)")
+	var xs, ys []float64
+	for _, perYear := range []float64{0, 0.5, 1, 2, 3, 6, 12, 26, 52} {
+		p := model.PaperNoScrub().WithScrubsPerYear(perYear)
+		mttdl := p.MTTDL()
+		sweep.MustAddRow(perYear, p.MDL, model.Years(mttdl),
+			model.FaultProbability(model.YearsToHours(50), mttdl))
+		if perYear > 0 {
+			xs = append(xs, perYear)
+			ys = append(ys, model.Years(mttdl))
+		}
+	}
+	res.Tables = append(res.Tables, sweep)
+	var plot report.LinePlot
+	plot.Title = "MTTDL vs audit frequency (log-log)"
+	plot.XLabel = "audits per year"
+	plot.YLabel = "MTTDL years"
+	plot.LogX, plot.LogY = true, true
+	plot.MustAdd(report.Series{Name: "clamped eq 7", X: xs, Y: ys})
+	res.Plots = append(res.Plots, &plot)
+	res.addNote("MTTDL grows ~linearly with audit frequency while MDL dominates MRL; the paper's 3x/year already buys ~190x over never auditing")
+
+	// Part 2: disk vs tape replicas, simulated with the media models.
+	disk := storage.DiskMedia(storage.Barracuda200(), 1e-7)
+	tape := storage.TapeShelf(400, 80, 24, 2e-3, 1e-3, 35)
+
+	type mediaPlan struct {
+		label         string
+		media         storage.Media
+		auditsPerYear float64
+	}
+	plans := []mediaPlan{
+		// Disk can afford frequent automatic audits.
+		{"disk mirror, audit 12x/yr", disk, 12},
+		// Tape at the same audit budget in dollars is audited rarely.
+		{"tape mirror, audit 1x/yr", tape, 1},
+		// Even giving tape the same audit *frequency*, handling faults
+		// bite.
+		{"tape mirror, audit 12x/yr", tape, 12},
+	}
+	// Fault means are scaled down 10x from the paper's so that the
+	// side-effect-bearing (eager) simulation stays affordable; the
+	// disk/tape comparison depends on ratios, not absolute scales.
+	const scale = 10
+	cmp := report.NewTable("Disk vs tape mirrored replicas, Monte Carlo (fault means = paper/10)",
+		"plan", "MTTDL (years)", "audit cost/replica-year ($)", "audit-induced faults/1000 trials")
+	for _, pl := range plans {
+		strat, err := scrub.NewPeriodic(pl.auditsPerYear, 0)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := repair.Automated(pl.media.RepairHours+model.PaperMRV, pl.media.RepairHours+model.PaperMRV, 0)
+		if err != nil {
+			return nil, err
+		}
+		c := sim.Config{
+			Replicas:              2,
+			VisibleMean:           model.PaperMV / scale,
+			LatentMean:            model.PaperML / scale,
+			Scrub:                 strat,
+			Repair:                rep,
+			Correlation:           faults.Independent{},
+			AuditLatentFaultProb:  pl.media.ReadWearFaultProb,
+			AuditVisibleFaultProb: pl.media.HandlingFaultProb,
+		}
+		runner, err := sim.NewRunner(c)
+		if err != nil {
+			return nil, err
+		}
+		trials := cfg.trials(300)
+		est, err := runner.Estimate(sim.Options{Trials: trials, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cmp.MustAddRow(pl.label,
+			model.Years(est.MTTDL.Point),
+			pl.auditsPerYear*pl.media.AuditCost,
+			float64(est.Stats.AuditInduced)/float64(trials)*1000)
+	}
+	res.Tables = append(res.Tables, cmp)
+	res.addNote("tape audits cost ~$%.0f per pass against ~$0 for disk, and each handling cycle risks faults (%.1f%% visible, %.2f%% wear) — §6.2's double penalty",
+		tape.AuditCost, 100*tape.HandlingFaultProb, 100*tape.ReadWearFaultProb)
+	res.addNote("periodic beats random auditing 2x on MDL at equal budget (scrub.TestPeriodicBeatsPoissonAtEqualBudget)")
+	return res, nil
+}

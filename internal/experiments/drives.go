@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/costs"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E7",
+		Title:  "Consumer vs enterprise drives: bit errors, fault probabilities, and the cost of reliability",
+		Source: "§6.1",
+		Run:    runE7,
+	})
+}
+
+// runE7 reproduces §6.1: the Barracuda/Cheetah spec comparison, the
+// "about 8 vs about 6 irrecoverable bit errors over a 99%-idle 5-year
+// life" arithmetic, and the economic conclusion that consumer replicas
+// beat enterprise drives for archival storage.
+func runE7(RunConfig) (*Result, error) {
+	res := &Result{ID: "E7", Title: "Drive economics (§6.1)"}
+	b, c := storage.Barracuda200(), storage.Cheetah146()
+
+	spec := report.NewTable("Datasheet comparison (paper quotes in parentheses where they differ)",
+		"drive", "class", "GB", "$/GB", "5yr fault prob", "derived MTTF (h)", "UBER")
+	for _, d := range []storage.DriveSpec{b, c} {
+		spec.MustAddRow(d.Name, d.Class.String(), d.CapacityGB, d.PricePerGB,
+			d.ServiceLifeFaultProb, d.MTTFHours(), d.UBER)
+	}
+	res.Tables = append(res.Tables, spec)
+	res.addNote("price ratio %.1fx per byte (paper: 'about 14 times')", storage.PriceRatio(b, c))
+	res.addNote("Cheetah derived MTTF %.3g h matches §5.4's MV = 1.4e6 h", c.MTTFHours())
+
+	const idle = 0.01 // 99% idle
+	bitErr := report.NewTable("Irrecoverable bit errors over a 99%-idle 5-year life",
+		"drive", "at sustained rate", "at interface rate", "paper says")
+	bitErr.MustAddRow(b.Name, b.LifetimeBitErrors(idle, 0), b.LifetimeBitErrors(idle, b.InterfaceMBps), "about 8")
+	bitErr.MustAddRow(c.Name, c.LifetimeBitErrors(idle, 0), c.LifetimeBitErrors(idle, c.InterfaceMBps), "about 6")
+	res.Tables = append(res.Tables, bitErr)
+	res.addNote("Barracuda reproduces the paper's ~8 at its 65 MB/s sustained rate (%.1f)", b.LifetimeBitErrors(idle, 0))
+	res.addNote("Cheetah shows %.1f at 300 MB/s and %.1f at sustained rate; the printed 6 needs a ~475 MB/s effective rate no 2005 datasheet supports — the paper's qualitative point (money does not buy away bit errors) survives either way",
+		c.LifetimeBitErrors(idle, c.InterfaceMBps), c.LifetimeBitErrors(idle, 0))
+
+	// The 14x-cost question asked as the paper asks it: what does the
+	// money buy? Halved in-service fault probability, 3/4 the bit
+	// errors — versus what the same money buys in consumer replicas.
+	frontier := report.NewTable("Cost vs modeled reliability, 10 TB archive, 10-year mission, scrub 3x/yr, alpha=0.1",
+		"plan", "$/TB-year", "MTTDL (years)", "P(loss in mission)")
+	plans := []struct {
+		label    string
+		drive    storage.DriveSpec
+		replicas int
+	}{
+		{"consumer mirror (r=2)", b, 2},
+		{"enterprise mirror (r=2)", c, 2},
+		{"consumer triple (r=3)", b, 3},
+		{"consumer quad (r=4)", b, 4},
+	}
+	for _, pl := range plans {
+		plan := costs.Plan{
+			Drive:                 pl.drive,
+			Replicas:              pl.replicas,
+			ArchiveGB:             10000,
+			MissionYears:          10,
+			ScrubsPerYear:         3,
+			AuditCostPerPass:      0.05,
+			PowerWattsPerDrive:    10,
+			PowerCostPerKWh:       0.10,
+			AdminCostPerDriveYear: 20,
+		}
+		params := model.Params{
+			MV:    pl.drive.MTTFHours(),
+			ML:    pl.drive.MTTFHours() / model.SchwarzLatentFactor,
+			MRV:   pl.drive.FullScanHours(),
+			MRL:   pl.drive.FullScanHours(),
+			MDL:   model.PaperScrubMDL,
+			Alpha: model.PaperAlpha,
+		}
+		fp, err := costs.Evaluate(pl.label, plan, params)
+		if err != nil {
+			return nil, err
+		}
+		frontier.MustAddRow(fp.Label, fp.CostPerTBYear, fp.MTTDLYears, fp.LossProb)
+	}
+	res.Tables = append(res.Tables, frontier)
+
+	// Quantify the paper's closing §6.1 sentence under eq 12 for both
+	// (its ideal-detection assumptions overstate absolutes but cancel in
+	// the comparison).
+	consumerTriple := model.Params{MV: b.MTTFHours(), ML: b.MTTFHours() / model.SchwarzLatentFactor,
+		MRV: b.FullScanHours(), MRL: b.FullScanHours(), MDL: model.PaperScrubMDL, Alpha: model.PaperAlpha}
+	enterpriseMirror := consumerTriple
+	enterpriseMirror.MV = c.MTTFHours()
+	enterpriseMirror.ML = c.MTTFHours() / model.SchwarzLatentFactor
+	gain := consumerTriple.ReplicatedMTTDL(3) / enterpriseMirror.ReplicatedMTTDL(2)
+	res.addNote("under eq 12, a third consumer replica delivers ~%.0fx the MTTDL of the enterprise mirror at a fraction of the cost — 'the large incremental cost of enterprise drives is hard to justify' (§6.1)",
+		math.Max(1, gain))
+	return res, nil
+}

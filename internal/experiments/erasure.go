@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/faults"
+	"repro/internal/repair"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E13",
+		Title:  "Erasure coding vs replication at equal storage overhead (Weatherspoon comparison)",
+		Source: "§7 (related work: Weatherspoon & Kubiatowicz; OceanStore)",
+		Run:    runE13,
+	})
+}
+
+// runE13 reproduces the §7-surveyed comparison the paper positions its
+// model against: at equal storage overhead, an m-of-n erasure code
+// tolerates n-m simultaneous fragment losses where r-way replication
+// tolerates r-1, so the code's MTTDL grows combinatorially. Both the
+// exact birth-death model and the event-driven simulator (MinIntact=m)
+// are shown; the paper's own caveat — that this model prices neither
+// latent nor correlated faults — is then demonstrated by turning on a
+// latent channel with slow auditing, which erodes most of the erasure
+// advantage.
+func runE13(cfg RunConfig) (*Result, error) {
+	res := &Result{ID: "E13", Title: "Erasure coding vs replication (§7)"}
+
+	const (
+		mttf = 1000.0 // fragment/replica MTTF, hours (scaled for MC)
+		mttr = 25.0   // exponential repair mean, hours
+	)
+	vis, err := rng.NewExponential(mttr)
+	if err != nil {
+		return nil, err
+	}
+	pol := repair.Policy{Visible: vis, Latent: vis}
+
+	tbl := report.NewTable("Equal 2x storage overhead, visible faults only (MTTF 1000 h, exp repair 25 h)",
+		"scheme", "tolerates", "markov MTTDL (h)", "sim MTTDL (h)", "sim/markov")
+	configs := []struct {
+		label string
+		n, m  int
+	}{
+		{"2-way replication", 2, 1},
+		{"2-of-4 erasure", 4, 2},
+		{"4-of-8 erasure", 8, 4},
+	}
+	var overheadNote string
+	for _, sc := range configs {
+		markov := baseline.MarkovErasure{N: sc.n, M: sc.m, FragmentMTTF: mttf, FragmentMTTR: mttr}
+		want, err := markov.MTTDL()
+		if err != nil {
+			return nil, err
+		}
+		c := sim.Config{
+			Replicas:    sc.n,
+			MinIntact:   sc.m,
+			VisibleMean: mttf,
+			LatentMean:  math.Inf(1),
+			Scrub:       scrub.None{},
+			Repair:      pol,
+			Correlation: faults.Independent{},
+		}
+		// The widest code's MTTDL is large; censor the simulation and
+		// use the restricted mean only for the two cheap rows, the
+		// Markov value carries the wide row.
+		var got float64
+		if sc.n <= 4 {
+			got, err = estimateMTTDL(c, cfg, cfg.trials(1500))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			got = math.NaN() // reported as Markov-only
+		}
+		ratio := got / want
+		tbl.MustAddRow(sc.label, fmt.Sprintf("%d losses", sc.n-sc.m), want, got, ratio)
+		overheadNote = "all rows store 2 bytes per byte of data"
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.addNote("%s; the erasure advantage at equal overhead is combinatorial (Weatherspoon & Kubiatowicz)", overheadNote)
+
+	// The paper's rejoinder: the advantage assumes visible, independent
+	// fragment faults. Add a latent channel with slow audits and the
+	// code's extra tolerance is consumed by undetected fragments.
+	latentTbl := report.NewTable("Same schemes with latent faults (ML = 2000 h) and audits every 500 h",
+		"scheme", "sim MTTDL (h)", "penalty vs visible-only")
+	for _, sc := range configs[:2] {
+		c := sim.Config{
+			Replicas:    sc.n,
+			MinIntact:   sc.m,
+			VisibleMean: mttf,
+			LatentMean:  2000,
+			Scrub:       scrub.Periodic{Interval: 500},
+			Repair:      pol,
+			Correlation: faults.Independent{},
+		}
+		withLatent, err := estimateMTTDL(c, cfg, cfg.trials(1200))
+		if err != nil {
+			return nil, err
+		}
+		visOnly := c
+		visOnly.LatentMean = math.Inf(1)
+		visOnly.Scrub = scrub.None{}
+		base, err := estimateMTTDL(visOnly, cfg, cfg.trials(1200))
+		if err != nil {
+			return nil, err
+		}
+		latentTbl.MustAddRow(sc.label, withLatent, base/withLatent)
+	}
+	res.Tables = append(res.Tables, latentTbl)
+	res.addNote("latent faults tax every scheme; fragment counts do not audit themselves — the paper's case for modeling MDL explicitly rather than adding redundancy (§5.4, §7)")
+	return res, nil
+}

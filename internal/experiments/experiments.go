@@ -1,0 +1,109 @@
+// Package experiments regenerates every figure and numeric claim of the
+// paper's analysis (§5.4–§6.6), one registered experiment per item. Each
+// experiment produces text tables and ASCII plots plus commentary notes
+// recording paper-vs-measured values; cmd/ltexp renders them and the root
+// bench_test.go exposes each as a benchmark.
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+// recorded outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// RunConfig scales an experiment run.
+type RunConfig struct {
+	// Seed fixes all Monte Carlo randomness.
+	Seed uint64
+	// Quick reduces Monte Carlo trial counts for smoke tests and
+	// benchmarks; results stay directionally correct with wider error
+	// bars.
+	Quick bool
+}
+
+// trials picks a trial budget.
+func (c RunConfig) trials(full int) int {
+	if c.Quick {
+		q := full / 10
+		if q < 60 {
+			q = 60
+		}
+		return q
+	}
+	return full
+}
+
+// Result is an experiment's rendered output.
+type Result struct {
+	// ID is the experiment identifier (F1, F2, E1..E12).
+	ID string
+	// Title describes what was reproduced.
+	Title string
+	// Tables holds the regenerated tables.
+	Tables []*report.Table
+	// Plots holds the regenerated figures.
+	Plots []*report.LinePlot
+	// Notes records paper-vs-measured commentary, one finding per line.
+	Notes []string
+}
+
+// addNote appends a formatted note.
+func (r *Result) addNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment is one registered reproduction target.
+type Experiment struct {
+	// ID is the DESIGN.md §3 identifier.
+	ID string
+	// Title summarizes the target.
+	Title string
+	// Source cites the paper section/figure.
+	Source string
+	// Run executes the experiment.
+	Run func(RunConfig) (*Result, error)
+}
+
+var registry []Experiment
+
+// register adds an experiment at package init.
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the experiments in DESIGN.md order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts F1, F2 first, then E1..E12 numerically.
+func orderKey(id string) int {
+	if len(id) < 2 {
+		return 1 << 20
+	}
+	var n int
+	if _, err := fmt.Sscanf(id[1:], "%d", &n); err != nil {
+		return 1 << 20
+	}
+	if id[0] == 'F' {
+		return n
+	}
+	return 100 + n
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/faults"
+	"repro/internal/repair"
+	"repro/internal/report"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E9",
+		Title:  "Monte Carlo validation of the closed-form mirrored MTTDL (eq 8) across a parameter grid",
+		Source: "§5.3, eq 8",
+		Run:    runE9,
+	})
+}
+
+// e9Case is one grid point: a physical configuration whose simulated
+// MTTDL is compared against the paper's closed form (adjusted for the
+// first-fault convention) and against the Patterson baseline.
+type e9Case struct {
+	label            string
+	mv, ml, mrv, mrl float64
+	scrubInterval    float64 // 0 = no scrubbing
+	alpha            float64
+	trials           int
+}
+
+// runE9 sweeps the model's operating regimes. In every cell the
+// physical simulation should agree with eq 7/8 divided by the replica
+// count (the paper counts first faults at rate 1/MV for the pair; the
+// physical pair sees 2/MV — DESIGN.md §4), up to the small-window
+// approximations.
+func runE9(cfg RunConfig) (*Result, error) {
+	res := &Result{ID: "E9", Title: "Model-vs-simulation validation grid (eq 8)"}
+	grid := []e9Case{
+		{"visible dominated", 1000, 1e8, 10, 10, 100, 1, 2500},
+		{"latent dominated, scrubbed", 1e7, 1000, 5, 5, 100, 1, 2500},
+		{"mixed rates", 2000, 1500, 20, 20, 200, 1, 2500},
+		{"correlated alpha=0.1", 1000, 1e8, 10, 10, 100, 0.1, 2500},
+		{"latent, slow audit", 1e7, 2000, 5, 5, 1000, 1, 2000},
+	}
+	tbl := report.NewTable("Simulated vs closed-form MTTDL (hours); model = clamped eq 7 / 2",
+		"scenario", "sim MTTDL", "sim 95% CI half-width", "model/2", "sim ÷ (model/2)", "patterson/2")
+	worst := 0.0
+	for _, g := range grid {
+		rep, err := repair.Automated(g.mrv, g.mrl, 0)
+		if err != nil {
+			return nil, err
+		}
+		var strat scrub.Strategy = scrub.None{}
+		if g.scrubInterval > 0 {
+			strat = scrub.Periodic{Interval: g.scrubInterval}
+		}
+		var corr faults.Correlation = faults.Independent{}
+		if g.alpha < 1 {
+			a, err := faults.NewAlphaCorrelation(g.alpha)
+			if err != nil {
+				return nil, err
+			}
+			corr = a
+		}
+		c := sim.Config{
+			Replicas:    2,
+			VisibleMean: g.mv,
+			LatentMean:  g.ml,
+			Scrub:       strat,
+			Repair:      rep,
+			Correlation: corr,
+		}
+		runner, err := sim.NewRunner(c)
+		if err != nil {
+			return nil, err
+		}
+		est, err := runner.Estimate(sim.Options{Trials: cfg.trials(g.trials), Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		adjusted := c.ModelParams().MTTDL() / 2
+		ratio := est.MTTDL.Point / adjusted
+		patterson := baseline.PattersonRAID{
+			DiskMTTF: g.mv, DiskMTTR: g.mrv, TotalDisks: 2, GroupSize: 2,
+		}.MTTDL()
+		tbl.MustAddRow(g.label, est.MTTDL.Point, est.MTTDL.HalfWidth(), adjusted, ratio, patterson)
+		if d := math.Abs(ratio - 1); d > worst {
+			worst = d
+		}
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.addNote("worst sim/model deviation %.0f%% — within the model's small-window approximations (window dwell time and exponential saturation are the residuals)", worst*100)
+	res.addNote("the Patterson baseline matches only the visible-dominated row; everywhere else it overstates MTTDL because it prices neither latent faults nor correlation (§4, §5)")
+	return res, nil
+}

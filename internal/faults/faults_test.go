@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTypeString(t *testing.T) {
+	if Visible.String() != "visible" || Latent.String() != "latent" {
+		t.Errorf("type strings: %v, %v", Visible, Latent)
+	}
+	if s := Type(99).String(); s == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestNewProcessValidation(t *testing.T) {
+	for _, mean := range []float64{0, -5, math.NaN()} {
+		if _, err := NewProcess(mean); err == nil {
+			t.Errorf("NewProcess(%v) accepted invalid mean", mean)
+		}
+	}
+	p, err := NewProcess(math.Inf(1))
+	if err != nil {
+		t.Fatalf("infinite mean should be accepted (disabled channel): %v", err)
+	}
+	if !p.Disabled() {
+		t.Error("infinite-mean process should report disabled")
+	}
+	if next := p.SampleNext(rng.New(1)); !math.IsInf(next, 1) {
+		t.Errorf("disabled process sampled %v, want +Inf", next)
+	}
+}
+
+func TestProcessSampleMean(t *testing.T) {
+	p, err := NewProcess(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.SampleNext(src)
+	}
+	if got := sum / n; math.Abs(got-500)/500 > 0.01 {
+		t.Errorf("sample mean %v, want 500 within 1%%", got)
+	}
+}
+
+func TestProcessAcceleration(t *testing.T) {
+	p, err := NewProcess(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetAcceleration(10)
+	if got := p.EffectiveMean(); got != 100 {
+		t.Errorf("effective mean = %v, want 100", got)
+	}
+	if got := p.BaseMean(); got != 1000 {
+		t.Errorf("base mean changed to %v", got)
+	}
+	src := rng.New(3)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.SampleNext(src)
+	}
+	if got := sum / n; math.Abs(got-100)/100 > 0.02 {
+		t.Errorf("accelerated sample mean %v, want 100 within 2%%", got)
+	}
+	p.SetAcceleration(1)
+	if got := p.EffectiveMean(); got != 1000 {
+		t.Errorf("reset effective mean = %v, want 1000", got)
+	}
+}
+
+func TestProcessAccelerationPanics(t *testing.T) {
+	p, _ := NewProcess(100)
+	for _, f := range []float64{0.5, 0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetAcceleration(%v) did not panic", f)
+				}
+			}()
+			p.SetAcceleration(f)
+		}()
+	}
+}
+
+func TestAlphaCorrelation(t *testing.T) {
+	c, err := NewAlphaCorrelation(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Acceleration(0); got != 1 {
+		t.Errorf("acceleration with no faults = %v, want 1", got)
+	}
+	for _, n := range []int{1, 2, 5} {
+		if got := c.Acceleration(n); got != 10 {
+			t.Errorf("acceleration(%d) = %v, want flat 10 (paper's model)", n, got)
+		}
+	}
+	if c.Alpha() != 0.1 {
+		t.Errorf("Alpha() = %v, want 0.1", c.Alpha())
+	}
+}
+
+func TestAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := NewAlphaCorrelation(a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+		if _, err := NewCompoundingAlpha(a); err == nil {
+			t.Errorf("compounding alpha %v accepted", a)
+		}
+	}
+	if _, err := NewAlphaCorrelation(1); err != nil {
+		t.Errorf("alpha=1 (independence) rejected: %v", err)
+	}
+}
+
+func TestIndependent(t *testing.T) {
+	var c Independent
+	for _, n := range []int{0, 1, 10} {
+		if got := c.Acceleration(n); got != 1 {
+			t.Errorf("independent acceleration(%d) = %v, want 1", n, got)
+		}
+	}
+	if c.Alpha() != 1 {
+		t.Errorf("independent alpha = %v, want 1", c.Alpha())
+	}
+}
+
+func TestCompoundingAlpha(t *testing.T) {
+	c, err := NewCompoundingAlpha(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4, 8}
+	for n, w := range want {
+		if got := c.Acceleration(n); math.Abs(got-w) > 1e-12 {
+			t.Errorf("compounding acceleration(%d) = %v, want %v", n, got, w)
+		}
+	}
+	// At one outstanding fault, flat and compounding agree: both are the
+	// paper's conditional-second-fault acceleration.
+	flat, _ := NewAlphaCorrelation(0.5)
+	if flat.Acceleration(1) != c.Acceleration(1) {
+		t.Error("flat and compounding must agree at nFaulty=1")
+	}
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+// Eq 12 and the exact birth-death Markov chain describe the same r-way
+// replicated system under different conventions: eq 12 counts first
+// faults at rate 1/MV for the group, while the physical chain counts r
+// initiators — and in state k its r-k fault candidates are exactly offset
+// by its k parallel repairs, leaving the fast-repair limit
+//
+//	Markov MTTDL = MV^r / (r · MRV^(r-1)) = eq 12 / r   (alpha = 1).
+//
+// Pinning the relation documents the convention gap the simulator
+// measures (E9's factor 2 for mirrors is the r=2 case).
+func TestEq12VsMarkovConventionFactor(t *testing.T) {
+	p := Params{MV: 1e6, ML: math.Inf(1), MRV: 1, MRL: 1, MDL: 0, Alpha: 1}
+	for r := 2; r <= 5; r++ {
+		markov := baseline.MarkovErasure{
+			N: r, M: 1,
+			FragmentMTTF: p.MV, FragmentMTTR: p.MRV,
+		}
+		exact, err := markov.MTTDL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := p.ReplicatedMTTDL(r) / exact
+		// Repair-to-failure ratio 1e-6 makes the fast-repair limit
+		// tight; allow 1% for the chain's sub-leading terms.
+		if math.Abs(ratio-float64(r))/float64(r) > 0.01 {
+			t.Errorf("r=%d: eq12/markov = %.4f, want r", r, ratio)
+		}
+	}
+}
+
+// The mirrored clamped model with no latent channel must agree with the
+// exact chain up to the same convention factor (2) and the window
+// approximation.
+func TestEq7VsMarkovMirror(t *testing.T) {
+	for _, mrv := range []float64{1, 10, 100} {
+		p := Params{MV: 1e5, ML: math.Inf(1), MRV: mrv, MRL: mrv, MDL: 0, Alpha: 1}
+		markov := baseline.MarkovErasure{N: 2, M: 1, FragmentMTTF: p.MV, FragmentMTTR: mrv}
+		exact, err := markov.MTTDL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := p.MTTDL() / 2 / exact
+		if math.Abs(ratio-1) > 0.01 {
+			t.Errorf("MRV=%v: (eq7/2)/markov = %.4f, want ~1", mrv, ratio)
+		}
+	}
+}
+
+// Patterson's formula is the fast-repair limit of the exact chain for
+// arrays: check the mirrored case.
+func TestPattersonVsMarkov(t *testing.T) {
+	pat := baseline.PattersonRAID{DiskMTTF: 1e6, DiskMTTR: 5, TotalDisks: 2, GroupSize: 2}
+	markov := baseline.MarkovErasure{N: 2, M: 1, FragmentMTTF: 1e6, FragmentMTTR: 5}
+	exact, err := markov.MTTDL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := pat.MTTDL() / exact; math.Abs(ratio-1) > 0.01 {
+		t.Errorf("patterson/markov = %.4f, want ~1 in the fast-repair limit", ratio)
+	}
+}

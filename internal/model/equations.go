@@ -1,0 +1,187 @@
+package model
+
+import "math"
+
+// This file implements equations 1–12 of the paper in order. Each function
+// cites its equation number. The exported API favours the robust clamped
+// evaluation (MTTDL) and exposes the raw closed forms for comparison and
+// for the regime analysis of §5.4.
+
+// FaultProbability is eq 1: the probability that a memoryless fault with
+// the given mean time occurs within t. Callers use it both for fault
+// processes and, applied to MTTDL, for "probability of data loss in T
+// years" (§5.4).
+func FaultProbability(t, mttf float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if mttf <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-t/mttf)
+}
+
+// SecondFaultProbs holds the four conditional probabilities of Figure 2:
+// the chance that a second fault of each type occurs within the window of
+// vulnerability opened by a first fault of each type. Eqs 3–6, including
+// the 1/α correlation inflation of §5.3, without clamping.
+type SecondFaultProbs struct {
+	// VAfterV is P(V2|V1) = MRV/MV / α (eq 3).
+	VAfterV float64
+	// LAfterV is P(L2|V1) = MRV/ML / α (eq 4).
+	LAfterV float64
+	// VAfterL is P(V2|L1) = (MDL+MRL)/MV / α (eq 5).
+	VAfterL float64
+	// LAfterL is P(L2|L1) = (MDL+MRL)/ML / α (eq 6).
+	LAfterL float64
+}
+
+// SecondFaultProbabilities evaluates eqs 3–6 for p. Values can exceed 1
+// when the approximation t ≪ MTTF breaks down (e.g. MDL → ∞); see
+// SecondFaultProbabilities.Clamped and the discussion under eq 6 in the
+// paper ("the combined … approaches 1").
+func (p Params) SecondFaultProbabilities() SecondFaultProbs {
+	wovV := p.MRV
+	wovL := p.MDL + p.MRL
+	return SecondFaultProbs{
+		VAfterV: wovV / p.MV / p.Alpha,
+		LAfterV: wovV / p.ML / p.Alpha,
+		VAfterL: wovL / p.MV / p.Alpha,
+		LAfterL: wovL / p.ML / p.Alpha,
+	}
+}
+
+// AnyAfterVisible returns min(1, P(V2|V1)+P(L2|V1)): the probability that
+// the mirror is lost during the window opened by a visible fault.
+func (s SecondFaultProbs) AnyAfterVisible() float64 {
+	return clampProb(s.VAfterV + s.LAfterV)
+}
+
+// AnyAfterLatent returns min(1, P(V2|L1)+P(L2|L1)): the probability that
+// the mirror is lost during the window opened by a latent fault. The
+// paper's no-scrubbing analysis substitutes 1 here (§5.4).
+func (s SecondFaultProbs) AnyAfterLatent() float64 {
+	return clampProb(s.VAfterL + s.LAfterL)
+}
+
+func clampProb(p float64) float64 {
+	if p >= 1 || math.IsNaN(p) {
+		// NaN arises from Inf/Inf (MDL = ML = +Inf); an unbounded window
+		// against an impossible fault channel is a certain-loss
+		// combination only if the other channel fires, and callers reach
+		// this only with a fault channel present, so 1 is the honest
+		// clamp.
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// MTTDL is the mean time to data loss of mirrored data: eq 7 with each
+// window-of-vulnerability probability clamped to 1. This is the paper's
+// own procedure for the no-scrubbing case ("applying equation 7 and
+// substituting P(V2 ∨ L2|L1) ≈ 1", §5.4) and reduces to the closed form
+// of eq 8 whenever the probabilities are genuinely small.
+//
+// The result is in hours. It returns +Inf when no fault channel exists.
+func (p Params) MTTDL() float64 {
+	s := p.SecondFaultProbabilities()
+	rate := s.AnyAfterVisible()/p.MV + s.AnyAfterLatent()/p.ML
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// MTTDLClosedForm is eq 8 evaluated literally:
+//
+//	α·ML²·MV² / ((MV+ML)·(MRV·ML + (MRL+MDL)·MV))
+//
+// It is exact relative to eq 7 only while every window-of-vulnerability
+// probability is small; with unbounded MDL it degenerates to 0. Kept for
+// regime analysis and model-vs-model comparisons.
+func (p Params) MTTDLClosedForm() float64 {
+	if math.IsInf(p.ML, 1) {
+		// No latent channel: eq 8's latent terms vanish; limit is eq 9.
+		return p.VisibleDominatedMTTDL()
+	}
+	num := p.Alpha * p.ML * p.ML * p.MV * p.MV
+	den := (p.MV + p.ML) * (p.MRV*p.ML + (p.MRL+p.MDL)*p.MV)
+	return num / den
+}
+
+// VisibleDominatedMTTDL is eq 9, the regime where visible faults dominate
+// ({MRL+MDL, MRV} ≪ MV ≪ ML): MTTDL ≈ α·MV²/MRV. This is the original
+// RAID reliability model of Patterson et al. scaled by α.
+func (p Params) VisibleDominatedMTTDL() float64 {
+	return p.Alpha * p.MV * p.MV / p.MRV
+}
+
+// LatentDominatedMTTDL is eq 10, the regime where latent faults dominate
+// ({MRL+MDL, MRV} ≪ ML ≪ MV): MTTDL ≈ α·ML²/(MRL+MDL). It exposes the
+// paper's central point: replication buys a factor of ML only if MDL is
+// kept small by auditing.
+func (p Params) LatentDominatedMTTDL() float64 {
+	return p.Alpha * p.ML * p.ML / (p.MRL + p.MDL)
+}
+
+// LongLatentWOVMTTDL is eq 11, the regime where visible faults dominate
+// but latent faults are never (or too slowly) detected, so any latent
+// fault almost surely leads to a double fault:
+//
+//	MTTDL ≈ α·MV² / (MRV + MV²/ML)
+//
+// Valid when latent rates are non-negligible, i.e. ML < MV² (paper's
+// condition, with times in hours).
+func (p Params) LongLatentWOVMTTDL() float64 {
+	if math.IsInf(p.ML, 1) {
+		return p.VisibleDominatedMTTDL()
+	}
+	return p.Alpha * p.MV * p.MV / (p.MRV + p.MV*p.MV/p.ML)
+}
+
+// ReplicatedMTTDL is eq 12: the mean time to data loss with r total
+// replicas under correlation factor α, assuming detection is instrumented
+// to make MDL negligible and latent and visible faults have similar rates
+// and repairs (§5.5):
+//
+//	MTTDL = α^(r-1) · MV^r / MRV^(r-1)
+//
+// r = 1 (no replication) gives MV. It panics if r < 1; replication counts
+// are structural constants, not data.
+func (p Params) ReplicatedMTTDL(r int) float64 {
+	if r < 1 {
+		panic("model: ReplicatedMTTDL needs r >= 1 replicas")
+	}
+	// Evaluate in log space: MV^r overflows float64 around r = 5 for
+	// realistic hour-denominated MVs.
+	logMTTDL := float64(r-1)*math.Log(p.Alpha) +
+		float64(r)*math.Log(p.MV) -
+		float64(r-1)*math.Log(p.MRV)
+	return math.Exp(logMTTDL)
+}
+
+// ReplicatedLossProbability combines eq 12 with eq 1: the probability of
+// data loss within mission hours for r replicas.
+func (p Params) ReplicatedLossProbability(r int, mission float64) float64 {
+	return FaultProbability(mission, p.ReplicatedMTTDL(r))
+}
+
+// LossProbability is eq 1 applied to the clamped MTTDL: the probability
+// of data loss within mission hours for mirrored data (§5.4's "probability
+// of data loss in 50 years").
+func (p Params) LossProbability(mission float64) float64 {
+	return FaultProbability(mission, p.MTTDL())
+}
+
+// DoubleFaultRate returns 1/MTTDL, the rate of double-fault failures per
+// hour (§5.3 defines reliability through this rate).
+func (p Params) DoubleFaultRate() float64 {
+	mttdl := p.MTTDL()
+	if math.IsInf(mttdl, 1) {
+		return 0
+	}
+	return 1 / mttdl
+}

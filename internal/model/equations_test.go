@@ -1,0 +1,207 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFaultProbability(t *testing.T) {
+	cases := []struct{ t, mttf, want float64 }{
+		{0, 100, 0},
+		{-5, 100, 0},
+		{100, 100, 1 - math.Exp(-1)},
+		{1e9, 100, 1}, // asymptote
+		{50, 0, 1},    // degenerate mttf
+	}
+	for _, c := range cases {
+		if got := FaultProbability(c.t, c.mttf); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FaultProbability(%v, %v) = %v, want %v", c.t, c.mttf, got, c.want)
+		}
+	}
+}
+
+func TestFaultProbabilityMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		t1 := float64(a)
+		t2 := t1 + float64(b)
+		return FaultProbability(t1, 1000) <= FaultProbability(t2, 1000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondFaultProbabilitiesScaleWithAlpha(t *testing.T) {
+	p := PaperScrubbed()
+	ind := p.SecondFaultProbabilities()
+	cor := p.WithAlpha(0.1).SecondFaultProbabilities()
+	for _, pair := range [][2]float64{
+		{ind.VAfterV, cor.VAfterV},
+		{ind.LAfterV, cor.LAfterV},
+		{ind.VAfterL, cor.VAfterL},
+		{ind.LAfterL, cor.LAfterL},
+	} {
+		if relErr(pair[1], pair[0]*10) > 1e-12 {
+			t.Errorf("correlated probability %v should be 10x independent %v", pair[1], pair[0])
+		}
+	}
+}
+
+func TestEq8MatchesEq7WhenUnclamped(t *testing.T) {
+	// Eq 8 is algebraically identical to eq 7 while no window probability
+	// is clamped, so the clamped MTTDL must equal the closed form there.
+	p := PaperScrubbed()
+	if s := p.SecondFaultProbabilities(); s.AnyAfterVisible() >= 1 || s.AnyAfterLatent() >= 1 {
+		t.Fatal("test scenario unexpectedly clamps")
+	}
+	a, b := p.MTTDL(), p.MTTDLClosedForm()
+	if relErr(a, b) > 1e-9 {
+		t.Errorf("clamped eq 7 = %v but closed-form eq 8 = %v; should agree when unclamped", a, b)
+	}
+}
+
+func TestMTTDLNeverBelowClosedForm(t *testing.T) {
+	// Clamping can only reduce the double-fault rate, so the general
+	// MTTDL is >= the literal eq 8 everywhere in the domain.
+	src := rng.New(5)
+	f := func(seed uint64) bool {
+		s := src.Derive(seed)
+		p := randomParams(s)
+		return p.MTTDL() >= p.MTTDLClosedForm()*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomParams draws parameters spanning the realistic domain: mean fault
+// times 1e3..1e8 h, repairs 0.1..1e3 h, detection 0..1e5 h, alpha over 5
+// orders of magnitude.
+func randomParams(s *rng.Source) Params {
+	logUniform := func(lo, hi float64) float64 {
+		return math.Pow(10, math.Log10(lo)+s.Float64()*(math.Log10(hi)-math.Log10(lo)))
+	}
+	return Params{
+		MV:    logUniform(1e3, 1e8),
+		ML:    logUniform(1e3, 1e8),
+		MRV:   logUniform(0.1, 1e3),
+		MRL:   logUniform(0.1, 1e3),
+		MDL:   logUniform(0.1, 1e5),
+		Alpha: logUniform(1e-5, 1),
+	}
+}
+
+func TestMTTDLMonotoneInLevers(t *testing.T) {
+	src := rng.New(17)
+	type lever struct {
+		name  string
+		apply func(Params) Params
+	}
+	// Each transformation is an unambiguous improvement; MTTDL must not
+	// decrease.
+	levers := []lever{
+		{"MV x2", func(p Params) Params { p.MV *= 2; return p }},
+		{"ML x2", func(p Params) Params { p.ML *= 2; return p }},
+		{"MRV /2", func(p Params) Params { p.MRV /= 2; return p }},
+		{"MRL /2", func(p Params) Params { p.MRL /= 2; return p }},
+		{"MDL /2", func(p Params) Params { p.MDL /= 2; return p }},
+		{"Alpha toward 1", func(p Params) Params { p.Alpha = math.Min(1, p.Alpha*2); return p }},
+	}
+	for _, lv := range levers {
+		lv := lv
+		f := func(seed uint64) bool {
+			p := randomParams(src.Derive(seed))
+			improved := lv.apply(p)
+			return improved.MTTDL() >= p.MTTDL()*(1-1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("MTTDL not monotone under %s: %v", lv.name, err)
+		}
+	}
+}
+
+func TestMTTDLNoFaultChannels(t *testing.T) {
+	p := Params{MV: math.Inf(1), ML: math.Inf(1), MRV: 1, MRL: 1, MDL: 0, Alpha: 1}
+	if got := p.MTTDL(); !math.IsInf(got, 1) {
+		t.Errorf("MTTDL with no fault channels = %v, want +Inf", got)
+	}
+	if got := p.DoubleFaultRate(); got != 0 {
+		t.Errorf("double fault rate = %v, want 0", got)
+	}
+}
+
+func TestDoubleFaultRateIsInverseMTTDL(t *testing.T) {
+	p := PaperScrubbed()
+	if got, want := p.DoubleFaultRate(), 1/p.MTTDL(); relErr(got, want) > 1e-12 {
+		t.Errorf("rate = %v, want 1/MTTDL = %v", got, want)
+	}
+}
+
+func TestReplicatedMTTDL(t *testing.T) {
+	p := Params{MV: 1e6, ML: 1e6, MRV: 10, MRL: 10, MDL: 0, Alpha: 1}
+	// r=1: no replication, MTTDL = MV.
+	if got := p.ReplicatedMTTDL(1); relErr(got, 1e6) > 1e-12 {
+		t.Errorf("r=1 MTTDL = %v, want MV", got)
+	}
+	// r=2 with alpha=1: MV^2/MRV.
+	if got, want := p.ReplicatedMTTDL(2), 1e12/10; relErr(got, want) > 1e-12 {
+		t.Errorf("r=2 MTTDL = %v, want %v", got, want)
+	}
+	// Each extra replica multiplies by alpha*MV/MRV (eq 12 geometry).
+	factor := p.Alpha * p.MV / p.MRV
+	for r := 2; r <= 6; r++ {
+		got := p.ReplicatedMTTDL(r) / p.ReplicatedMTTDL(r-1)
+		if relErr(got, factor) > 1e-9 {
+			t.Errorf("r=%d growth factor = %v, want %v", r, got, factor)
+		}
+	}
+}
+
+func TestReplicatedMTTDLCorrelationOffsetsReplication(t *testing.T) {
+	// §5.5: "a high degree of correlated errors (α ≪ 1) would also
+	// geometrically decrease MTTDL, thereby offsetting much or all of the
+	// gains from additional replicas." Quantify: with alpha = MRV/MV,
+	// extra replicas buy nothing.
+	p := Params{MV: 1e6, ML: 1e6, MRV: 10, MRL: 10, MDL: 0, Alpha: 10.0 / 1e6}
+	for r := 1; r <= 5; r++ {
+		if got := p.ReplicatedMTTDL(r); relErr(got, 1e6) > 1e-9 {
+			t.Errorf("with alpha=MRV/MV, r=%d MTTDL = %v, want MV (no gain)", r, got)
+		}
+	}
+}
+
+func TestReplicatedMTTDLNoOverflow(t *testing.T) {
+	p := PaperNoScrub()
+	got := p.ReplicatedMTTDL(12)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("r=12 MTTDL = %v, want finite (log-space evaluation)", got)
+	}
+	if got <= 0 {
+		t.Errorf("r=12 MTTDL = %v, want positive", got)
+	}
+}
+
+func TestReplicatedMTTDLPanicsOnZeroReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ReplicatedMTTDL(0) did not panic")
+		}
+	}()
+	PaperNoScrub().ReplicatedMTTDL(0)
+}
+
+func TestReplicatedLossProbability(t *testing.T) {
+	p := Params{MV: 1e5, ML: 1e5, MRV: 10, MRL: 10, MDL: 0, Alpha: 1}
+	mission := YearsToHours(50)
+	prev := 1.1
+	for r := 1; r <= 4; r++ {
+		got := p.ReplicatedLossProbability(r, mission)
+		if got <= 0 || got >= prev {
+			t.Errorf("r=%d loss probability = %v, want decreasing in r (prev %v)", r, got, prev)
+		}
+		prev = got
+	}
+}

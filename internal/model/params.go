@@ -1,0 +1,207 @@
+// Package model implements the analytic reliability model of Baker et al.,
+// "A Fresh Look at the Reliability of Long-term Digital Storage"
+// (EuroSys 2006), §5: mean time to data loss (MTTDL) for mirrored and
+// r-way replicated data under visible faults, latent faults, and
+// correlated faults.
+//
+// The model is deliberately agnostic to the unit of replication — a bit, a
+// sector, a file, a disk, or an entire site (§5, "Our model is agnostic to
+// the unit of replication") — so Params carries plain mean times with no
+// device semantics. Device semantics (drive specs, media) live in
+// internal/storage; the Monte Carlo validation lives in internal/sim.
+//
+// All times are float64 hours. Use Years/YearsToHours for presentation.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// HoursPerYear converts between the model's hour timescale and the
+// paper's year-denominated results (8760 h = 365 d reproduces the
+// paper's printed values).
+const HoursPerYear = 8760.0
+
+// Years converts hours to years.
+func Years(hours float64) float64 { return hours / HoursPerYear }
+
+// YearsToHours converts years to hours.
+func YearsToHours(years float64) float64 { return years * HoursPerYear }
+
+// Minutes converts minutes to hours, for repair times quoted in minutes.
+func Minutes(m float64) float64 { return m / 60 }
+
+// ErrInvalidParams reports a Params value outside the model's domain.
+var ErrInvalidParams = errors.New("model: invalid parameters")
+
+// Params holds the model parameters of §5.1–§5.2.
+//
+// A *visible* fault is detected the instant it occurs (disk crash,
+// controller error). A *latent* fault occurs silently (bit rot, misplaced
+// write, format obsolescence) and is only discovered MDL later, typically
+// by a scrubbing/audit pass. Once detected, each kind of fault takes its
+// mean repair time to fix. Alpha models correlation: once one replica is
+// faulty, the conditional mean time to a fault on another replica
+// contracts by the factor Alpha (§5.3).
+type Params struct {
+	// MV is the mean time to a visible fault, in hours.
+	MV float64
+	// ML is the mean time to a latent fault, in hours. May be +Inf for a
+	// system with no latent fault channel.
+	ML float64
+	// MRV is the mean time to repair a visible fault, in hours.
+	MRV float64
+	// MRL is the mean time to repair a latent fault once detected, in
+	// hours.
+	MRL float64
+	// MDL is the mean time from occurrence to detection of a latent
+	// fault, in hours. +Inf models a system that never audits: latent
+	// faults are then detected only by the (ignored) user-access channel
+	// and the window of vulnerability after a latent fault is unbounded.
+	MDL float64
+	// Alpha is the correlation factor α ∈ (0, 1]: the mean time to a
+	// second fault, conditioned on an outstanding first fault, is Alpha
+	// times the unconditional mean (§5.3). Alpha = 1 means independent
+	// replicas; smaller is worse.
+	Alpha float64
+}
+
+// Validate reports whether the parameters are in the model's domain.
+func (p Params) Validate() error {
+	check := func(name string, v float64, allowInf bool) error {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w: %s is NaN", ErrInvalidParams, name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("%w: %s = %v, must be positive", ErrInvalidParams, name, v)
+		}
+		if !allowInf && math.IsInf(v, 1) {
+			return fmt.Errorf("%w: %s is +Inf", ErrInvalidParams, name)
+		}
+		return nil
+	}
+	if err := check("MV", p.MV, false); err != nil {
+		return err
+	}
+	if err := check("ML", p.ML, true); err != nil {
+		return err
+	}
+	if err := check("MRV", p.MRV, false); err != nil {
+		return err
+	}
+	if err := check("MRL", p.MRL, false); err != nil {
+		return err
+	}
+	// MDL may be zero (perfect instantaneous detection) or +Inf (never
+	// audited).
+	if math.IsNaN(p.MDL) || p.MDL < 0 {
+		return fmt.Errorf("%w: MDL = %v, must be >= 0", ErrInvalidParams, p.MDL)
+	}
+	if math.IsNaN(p.Alpha) || p.Alpha <= 0 || p.Alpha > 1 {
+		return fmt.Errorf("%w: Alpha = %v, must be in (0, 1]", ErrInvalidParams, p.Alpha)
+	}
+	return nil
+}
+
+// WithScrubsPerYear returns a copy of p whose MDL corresponds to periodic
+// auditing n times per year: detection lag is uniform over the scrub
+// interval, so the mean is half the interval (§5.4, §6.2; the paper's
+// "3 times a year ⇒ MDL = 1460 hours").
+func (p Params) WithScrubsPerYear(n float64) Params {
+	if n <= 0 {
+		p.MDL = math.Inf(1)
+		return p
+	}
+	p.MDL = HoursPerYear / n / 2
+	return p
+}
+
+// WithAlpha returns a copy of p with the given correlation factor.
+func (p Params) WithAlpha(alpha float64) Params {
+	p.Alpha = alpha
+	return p
+}
+
+// AlphaLowerBound returns the paper's reasoned lower bound on α for this
+// configuration: the correlated mean time to a second visible fault should
+// be at least an order of magnitude above the recovery time,
+// α·MV ≥ 10·MRV, giving α ≥ 10·MRV/MV (§5.4, fourth implication).
+func (p Params) AlphaLowerBound() float64 {
+	return 10 * p.MRV / p.MV
+}
+
+// SchwarzLatentFactor is the ratio of latent to visible fault rates
+// suggested by Schwarz et al. and adopted in §5.4: "silent block faults
+// occur five times as often as whole disk faults". ML = MV / 5.
+const SchwarzLatentFactor = 5.0
+
+// Paper parameter presets (§5.4). The worked example uses a Seagate
+// Cheetah: MV = 1.4e6 hours, 146 GB at 300 MB/s giving a 20-minute
+// full-copy repair, and latent faults five times as frequent as visible
+// ones.
+const (
+	// PaperMV is the §5.4 visible-fault mean time (Cheetah datasheet
+	// MTTF), in hours.
+	PaperMV = 1.4e6
+	// PaperML is the §5.4 latent-fault mean time: MV / SchwarzLatentFactor.
+	PaperML = PaperMV / SchwarzLatentFactor // 2.8e5
+	// PaperMRV is the §5.4 visible repair time: 20 minutes, in hours.
+	PaperMRV = 20.0 / 60
+	// PaperMRL is the latent repair time; the paper uses MRL = MRV.
+	PaperMRL = PaperMRV
+	// PaperScrubMDL is the §5.4 detection lag under 3 scrubs/year:
+	// half of the 1/3-year scrub interval, 1460 hours.
+	PaperScrubMDL = 1460.0
+	// PaperAlpha is the §5.4 correlation factor taken from Chen et al.
+	PaperAlpha = 0.1
+	// PaperMissionYears is the horizon for the paper's loss
+	// probabilities ("probability of data loss in 50 years").
+	PaperMissionYears = 50.0
+	// PaperNegligentML is the §5.4 fourth scenario's latent mean time
+	// ("even when latent faults are infrequent", ML = 1.4e7 h = 10·MV).
+	PaperNegligentML = 1.4e7
+)
+
+// PaperNoScrub returns the §5.4 baseline scenario: mirrored Cheetahs,
+// latent faults 5x visible, no auditing (MDL unbounded), no correlation.
+// Expected MTTDL ≈ 32.0 years.
+func PaperNoScrub() Params {
+	return Params{
+		MV:    PaperMV,
+		ML:    PaperML,
+		MRV:   PaperMRV,
+		MRL:   PaperMRL,
+		MDL:   math.Inf(1),
+		Alpha: 1,
+	}
+}
+
+// PaperScrubbed returns the §5.4 scenario with scrubbing three times a
+// year and no correlation. Expected MTTDL ≈ 6128.7 years.
+func PaperScrubbed() Params {
+	p := PaperNoScrub()
+	p.MDL = PaperScrubMDL
+	return p
+}
+
+// PaperCorrelated returns the §5.4 scenario with scrubbing and α = 0.1.
+// Expected MTTDL ≈ 612.9 years.
+func PaperCorrelated() Params {
+	return PaperScrubbed().WithAlpha(PaperAlpha)
+}
+
+// PaperNegligent returns the §5.4 fourth scenario: latent faults rare
+// (ML = 1.4e7 h) but never audited, α = 0.1. Expected MTTDL ≈ 159.8
+// years via eq 11.
+func PaperNegligent() Params {
+	return Params{
+		MV:    PaperMV,
+		ML:    PaperNegligentML,
+		MRV:   PaperMRV,
+		MRL:   PaperMRL,
+		MDL:   math.Inf(1),
+		Alpha: PaperAlpha,
+	}
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsPaperPresets(t *testing.T) {
+	for name, p := range map[string]Params{
+		"no-scrub":   PaperNoScrub(),
+		"scrubbed":   PaperScrubbed(),
+		"correlated": PaperCorrelated(),
+		"negligent":  PaperNegligent(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := PaperScrubbed()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   string
+	}{
+		{"zero MV", func(p *Params) { p.MV = 0 }, "MV"},
+		{"negative ML", func(p *Params) { p.ML = -1 }, "ML"},
+		{"NaN MRV", func(p *Params) { p.MRV = math.NaN() }, "MRV"},
+		{"inf MRV", func(p *Params) { p.MRV = math.Inf(1) }, "MRV"},
+		{"zero MRL", func(p *Params) { p.MRL = 0 }, "MRL"},
+		{"negative MDL", func(p *Params) { p.MDL = -2 }, "MDL"},
+		{"zero alpha", func(p *Params) { p.Alpha = 0 }, "Alpha"},
+		{"alpha above one", func(p *Params) { p.Alpha = 1.5 }, "Alpha"},
+		{"inf MV", func(p *Params) { p.MV = math.Inf(1) }, "MV"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := base
+			c.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name the offending field %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateAllowsBoundaryValues(t *testing.T) {
+	p := PaperScrubbed()
+	p.MDL = 0 // perfect detection
+	if err := p.Validate(); err != nil {
+		t.Errorf("MDL=0 rejected: %v", err)
+	}
+	p.MDL = math.Inf(1) // never audited
+	if err := p.Validate(); err != nil {
+		t.Errorf("MDL=+Inf rejected: %v", err)
+	}
+	p.ML = math.Inf(1) // no latent channel
+	if err := p.Validate(); err != nil {
+		t.Errorf("ML=+Inf rejected: %v", err)
+	}
+	p.Alpha = 1
+	if err := p.Validate(); err != nil {
+		t.Errorf("Alpha=1 rejected: %v", err)
+	}
+}
+
+func TestUnitsRoundTrip(t *testing.T) {
+	if got := Years(YearsToHours(123.4)); relErr(got, 123.4) > 1e-12 {
+		t.Errorf("year round trip = %v", got)
+	}
+	if got := Minutes(20); relErr(got, 1.0/3) > 1e-12 {
+		t.Errorf("Minutes(20) = %v hours, want 1/3", got)
+	}
+	if HoursPerYear != 8760 {
+		t.Errorf("HoursPerYear = %v, the paper's numbers assume 8760", HoursPerYear)
+	}
+}
+
+func TestWithScrubsPerYear(t *testing.T) {
+	p := PaperNoScrub()
+	cases := []struct{ n, wantMDL float64 }{
+		{3, 1460},         // paper's value
+		{1, 4380},         // annual audit: half a year
+		{12, 365},         // monthly
+		{0, math.Inf(1)},  // never
+		{-2, math.Inf(1)}, // nonsense treated as never
+	}
+	for _, c := range cases {
+		got := p.WithScrubsPerYear(c.n).MDL
+		if got != c.wantMDL && !(math.IsInf(got, 1) && math.IsInf(c.wantMDL, 1)) {
+			t.Errorf("WithScrubsPerYear(%v).MDL = %v, want %v", c.n, got, c.wantMDL)
+		}
+	}
+	// Must not mutate the receiver.
+	if !math.IsInf(p.MDL, 1) {
+		t.Error("WithScrubsPerYear mutated its receiver")
+	}
+}
+
+func TestSchwarzRatioPreset(t *testing.T) {
+	if got := PaperMV / PaperML; relErr(got, SchwarzLatentFactor) > 1e-12 {
+		t.Errorf("preset latent ratio = %v, want %v (Schwarz et al.)", got, SchwarzLatentFactor)
+	}
+}

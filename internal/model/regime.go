@@ -1,0 +1,93 @@
+package model
+
+import "math"
+
+// Regime identifies which of the paper's §5.4 operating ranges a parameter
+// set falls in, i.e. which closed-form approximation (eq 9, 10, or 11)
+// tracks the full model.
+type Regime int
+
+const (
+	// RegimeMixed means no single approximation dominates; use MTTDL()
+	// directly.
+	RegimeMixed Regime = iota
+	// RegimeVisibleDominated is eq 9's range: visible faults much more
+	// frequent than latent ones and all windows of vulnerability short.
+	// The model degenerates to the original RAID model (×α).
+	RegimeVisibleDominated
+	// RegimeLatentDominated is eq 10's range: latent faults dominate;
+	// MTTDL is controlled by ML²/(MRL+MDL), so detection time is the
+	// lever.
+	RegimeLatentDominated
+	// RegimeLongLatentWOV is eq 11's range: the window of vulnerability
+	// after a latent fault is so long that any latent fault is
+	// effectively fatal (P(V2 ∨ L2 | L1) ≈ 1).
+	RegimeLongLatentWOV
+)
+
+// String returns the regime name.
+func (r Regime) String() string {
+	switch r {
+	case RegimeVisibleDominated:
+		return "visible-dominated (eq 9)"
+	case RegimeLatentDominated:
+		return "latent-dominated (eq 10)"
+	case RegimeLongLatentWOV:
+		return "long-latent-WOV (eq 11)"
+	default:
+		return "mixed (eq 7/8)"
+	}
+}
+
+// dominanceFactor is the margin used to call one term "much larger" than
+// another when classifying; 10× matches the paper's order-of-magnitude
+// reasoning.
+const dominanceFactor = 10
+
+// Regime classifies p into the paper's operating ranges.
+func (p Params) Regime() Regime {
+	s := p.SecondFaultProbabilities()
+	// Eq 11's precondition: a latent fault almost surely escalates to
+	// loss.
+	if s.VAfterL+s.LAfterL >= 0.5 {
+		return RegimeLongLatentWOV
+	}
+	wovL := p.MDL + p.MRL
+	visTerm := p.MRV * p.ML // visible-window contribution in eq 8
+	latTerm := wovL * p.MV  // latent-window contribution in eq 8
+	mlDominates := p.ML >= dominanceFactor*p.MV
+	mvDominates := p.MV >= dominanceFactor*p.ML
+	switch {
+	case math.IsInf(p.ML, 1), visTerm >= dominanceFactor*latTerm && mlDominates:
+		return RegimeVisibleDominated
+	case latTerm >= dominanceFactor*visTerm && mvDominates:
+		return RegimeLatentDominated
+	default:
+		return RegimeMixed
+	}
+}
+
+// Approximation returns the closed-form MTTDL for p's regime: eq 9, 10, or
+// 11 when one applies, falling back to the general clamped eq 7 for mixed
+// regimes. Reports the regime used.
+func (p Params) Approximation() (mttdl float64, regime Regime) {
+	regime = p.Regime()
+	switch regime {
+	case RegimeVisibleDominated:
+		return p.VisibleDominatedMTTDL(), regime
+	case RegimeLatentDominated:
+		return p.LatentDominatedMTTDL(), regime
+	case RegimeLongLatentWOV:
+		// Eq 11 additionally assumes the visible rate dominates
+		// (MV ≪ ML). When it does not — no-scrub with frequent latent
+		// faults, the paper's first worked example — the general eq 7
+		// treatment with the clamp is the defensible value. Use eq 11
+		// only on its home turf.
+		if p.ML >= p.MV {
+			return p.LongLatentWOVMTTDL(), regime
+		}
+		return p.MTTDL(), regime
+	default:
+		return p.MTTDL(), regime
+	}
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"math"
+	"sort"
+)
+
+// Lever identifies one of the §6 strategy levers: the model parameters an
+// operator can invest in.
+type Lever string
+
+// The levers correspond one-to-one with the §6 strategy list.
+const (
+	LeverMV    Lever = "MV"    // §6.1: sturdier media / better drives
+	LeverML    Lever = "ML"    // §6.1: corruption-resistant media/formats
+	LeverMDL   Lever = "MDL"   // §6.2: audit more often
+	LeverMRL   Lever = "MRL"   // §6.3: automate latent repair
+	LeverMRV   Lever = "MRV"   // §6.3: hot spares, automated recovery
+	LeverAlpha Lever = "Alpha" // §6.5: independence of replicas
+)
+
+// AllLevers lists every lever in presentation order.
+var AllLevers = []Lever{LeverMV, LeverML, LeverMDL, LeverMRL, LeverMRV, LeverAlpha}
+
+// apply returns p with the lever scaled by factor. Improving a mean time
+// to fault means increasing it; improving a repair/detection time means
+// decreasing it; improving independence means increasing α (toward 1,
+// clamped).
+func (p Params) apply(l Lever, factor float64) Params {
+	switch l {
+	case LeverMV:
+		p.MV *= factor
+	case LeverML:
+		p.ML *= factor
+	case LeverMDL:
+		p.MDL /= factor
+	case LeverMRL:
+		p.MRL /= factor
+	case LeverMRV:
+		p.MRV /= factor
+	case LeverAlpha:
+		p.Alpha = math.Min(1, p.Alpha*factor)
+	}
+	return p
+}
+
+// Improve returns a copy of p with the given lever improved by factor > 1.
+// For mean-time-to-fault levers the mean grows by factor; for
+// repair/detection levers it shrinks by factor; for Alpha it grows toward
+// 1 (clamped).
+func (p Params) Improve(l Lever, factor float64) Params {
+	return p.apply(l, factor)
+}
+
+// Sensitivity is the outcome of improving one lever.
+type Sensitivity struct {
+	Lever Lever
+	// Gain is MTTDL(improved)/MTTDL(baseline) for a `factor` improvement.
+	Gain float64
+	// Elasticity is d ln MTTDL / d ln lever improvement near the baseline:
+	// 1 means proportional payoff, 2 quadratic (the paper's "MTTDL varies
+	// quadratically with both MV and ML"), ~0 means the lever is
+	// currently irrelevant.
+	Elasticity float64
+}
+
+// Sensitivities evaluates every lever at the given improvement factor and
+// returns results sorted by decreasing gain: the paper's §6 strategy
+// ranking ("what strategies are most likely to increase reliability")
+// computed for a concrete configuration.
+func (p Params) Sensitivities(factor float64) []Sensitivity {
+	base := p.MTTDL()
+	out := make([]Sensitivity, 0, len(AllLevers))
+	for _, l := range AllLevers {
+		improved := p.Improve(l, factor).MTTDL()
+		gain := improved / base
+		// Central difference in log space with a small step for the
+		// local elasticity.
+		const h = 1.01
+		up := p.Improve(l, h).MTTDL()
+		down := p.Improve(l, 1/h).MTTDL()
+		elast := (math.Log(up) - math.Log(down)) / (2 * math.Log(h))
+		if math.IsNaN(elast) || math.IsInf(elast, 0) {
+			elast = 0
+		}
+		out = append(out, Sensitivity{Lever: l, Gain: gain, Elasticity: elast})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Gain > out[j].Gain })
+	return out
+}
+
+// BestLever returns the lever with the largest MTTDL gain at the given
+// improvement factor.
+func (p Params) BestLever(factor float64) Sensitivity {
+	return p.Sensitivities(factor)[0]
+}

@@ -1,0 +1,126 @@
+// Package repair models the §6.3 recovery machinery: how long repairs
+// take, whether a human is in the loop, and the §6.6 hazard that
+// automated repair is itself software that can plant faults ("if buggy or
+// compromised by an attacker, it can itself introduce latent faults").
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrInvalid reports a repair parameter outside its domain.
+var ErrInvalid = errors.New("repair: invalid parameter")
+
+// Policy describes how a system repairs each fault class.
+type Policy struct {
+	// Visible is the repair-duration distribution after a visible fault,
+	// in hours.
+	Visible rng.Sampler
+	// Latent is the repair-duration distribution after a *detected*
+	// latent fault, in hours.
+	Latent rng.Sampler
+	// OperatorDelay, if non-nil, is an additional dispatch delay drawn
+	// before every repair: waiting for a human to notice the alert,
+	// travel, find the spare. Hot-spare/automated designs leave it nil.
+	OperatorDelay rng.Sampler
+	// BugLatentProb is the probability that a completed repair silently
+	// plants a new latent fault on the repaired replica (§6.6: "even
+	// visible faults can now ... turn into latent ones").
+	BugLatentProb float64
+}
+
+// Validate reports whether the policy is well-formed.
+func (p Policy) Validate() error {
+	if p.Visible == nil || p.Latent == nil {
+		return fmt.Errorf("%w: policy needs visible and latent repair distributions", ErrInvalid)
+	}
+	if math.IsNaN(p.BugLatentProb) || p.BugLatentProb < 0 || p.BugLatentProb > 1 {
+		return fmt.Errorf("%w: bug probability %v must be in [0,1]", ErrInvalid, p.BugLatentProb)
+	}
+	return nil
+}
+
+// Duration draws the total repair time for the given fault class:
+// operator delay (if any) plus the repair itself. kindIsVisible selects
+// the distribution.
+func (p Policy) Duration(kindIsVisible bool, src *rng.Source) float64 {
+	var d float64
+	if p.OperatorDelay != nil {
+		d += p.OperatorDelay.Sample(src)
+	}
+	if kindIsVisible {
+		d += p.Visible.Sample(src)
+	} else {
+		d += p.Latent.Sample(src)
+	}
+	return d
+}
+
+// MeanVisible returns the expected total visible repair time (the model's
+// MRV).
+func (p Policy) MeanVisible() float64 {
+	m := p.Visible.Mean()
+	if p.OperatorDelay != nil {
+		m += p.OperatorDelay.Mean()
+	}
+	return m
+}
+
+// MeanLatent returns the expected total latent repair time (the model's
+// MRL).
+func (p Policy) MeanLatent() float64 {
+	m := p.Latent.Mean()
+	if p.OperatorDelay != nil {
+		m += p.OperatorDelay.Mean()
+	}
+	return m
+}
+
+// RepairPlantsFault draws whether this completed repair left a latent
+// fault behind.
+func (p Policy) RepairPlantsFault(src *rng.Source) bool {
+	return src.Bool(p.BugLatentProb)
+}
+
+// Automated returns the §6.3 hot-spare policy: deterministic repair at
+// copy speed for both fault classes, no operator, optionally buggy.
+// mrv/mrl are the copy times in hours.
+func Automated(mrv, mrl, bugProb float64) (Policy, error) {
+	p := Policy{
+		Visible:       rng.Deterministic{Value: mrv},
+		Latent:        rng.Deterministic{Value: mrl},
+		BugLatentProb: bugProb,
+	}
+	if mrv <= 0 || mrl <= 0 || math.IsNaN(mrv) || math.IsNaN(mrl) {
+		return Policy{}, fmt.Errorf("%w: repair times %v/%v must be positive", ErrInvalid, mrv, mrl)
+	}
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// OperatorAssisted returns a policy where a human must act first:
+// lognormal dispatch delay with the given mean and coefficient of
+// variation, then an exponential repair with the given means — the §6.3
+// foil to Automated ("repair times for media faults might be very short
+// indeed ... No human intervention is needed").
+func OperatorAssisted(dispatchMean, dispatchCV, mrv, mrl float64) (Policy, error) {
+	delay, err := rng.LogNormalFromMeanCV(dispatchMean, dispatchCV)
+	if err != nil {
+		return Policy{}, fmt.Errorf("repair: operator delay: %w", err)
+	}
+	vis, err := rng.NewExponential(mrv)
+	if err != nil {
+		return Policy{}, fmt.Errorf("repair: visible repair: %w", err)
+	}
+	lat, err := rng.NewExponential(mrl)
+	if err != nil {
+		return Policy{}, fmt.Errorf("repair: latent repair: %w", err)
+	}
+	return Policy{Visible: vis, Latent: lat, OperatorDelay: delay}, nil
+}

@@ -1,0 +1,124 @@
+package repair
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAutomated(t *testing.T) {
+	p, err := Automated(0.5, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	if got := p.Duration(true, src); got != 0.5 {
+		t.Errorf("visible duration = %v, want deterministic 0.5", got)
+	}
+	if got := p.Duration(false, src); got != 0.25 {
+		t.Errorf("latent duration = %v, want deterministic 0.25", got)
+	}
+	if p.MeanVisible() != 0.5 || p.MeanLatent() != 0.25 {
+		t.Errorf("means = %v/%v, want 0.5/0.25", p.MeanVisible(), p.MeanLatent())
+	}
+	if p.RepairPlantsFault(src) {
+		t.Error("bug-free policy planted a fault")
+	}
+}
+
+func TestAutomatedValidation(t *testing.T) {
+	if _, err := Automated(0, 1, 0); err == nil {
+		t.Error("zero visible repair accepted")
+	}
+	if _, err := Automated(1, -1, 0); err == nil {
+		t.Error("negative latent repair accepted")
+	}
+	if _, err := Automated(1, 1, 1.5); err == nil {
+		t.Error("bug probability above 1 accepted")
+	}
+	if _, err := Automated(math.NaN(), 1, 0); err == nil {
+		t.Error("NaN repair accepted")
+	}
+}
+
+func TestOperatorAssisted(t *testing.T) {
+	p, err := OperatorAssisted(24, 1, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means include the dispatch delay.
+	if got := p.MeanVisible(); math.Abs(got-24.5) > 1e-9 {
+		t.Errorf("mean visible = %v, want 24.5", got)
+	}
+	if got := p.MeanLatent(); math.Abs(got-24.5) > 1e-9 {
+		t.Errorf("mean latent = %v, want 24.5", got)
+	}
+	// Empirical check on sampled durations.
+	src := rng.New(2)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Duration(true, src)
+	}
+	got := sum / n
+	if math.Abs(got-24.5)/24.5 > 0.02 {
+		t.Errorf("empirical mean duration = %v, want 24.5 within 2%%", got)
+	}
+}
+
+func TestOperatorAssistedValidation(t *testing.T) {
+	if _, err := OperatorAssisted(0, 1, 1, 1); err == nil {
+		t.Error("zero dispatch mean accepted")
+	}
+	if _, err := OperatorAssisted(24, 1, 0, 1); err == nil {
+		t.Error("zero visible repair accepted")
+	}
+	if _, err := OperatorAssisted(24, 1, 1, -2); err == nil {
+		t.Error("negative latent repair accepted")
+	}
+}
+
+// §6.3's comparison: automation shrinks the window of vulnerability by
+// orders of magnitude relative to operator-assisted recovery.
+func TestAutomationShrinksWindow(t *testing.T) {
+	auto, err := Automated(1.0/3, 1.0/3, 0) // 20-minute copy
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := OperatorAssisted(24, 1.5, 1.0/3, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := manual.MeanVisible() / auto.MeanVisible(); ratio < 10 {
+		t.Errorf("operator repair %vx automated; expected >= 10x", ratio)
+	}
+}
+
+func TestBuggyRepairRate(t *testing.T) {
+	p, err := Automated(1, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if p.RepairPlantsFault(src) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("bug rate = %v, want 0.25 +- 0.01", got)
+	}
+}
+
+func TestValidateNilSamplers(t *testing.T) {
+	if err := (Policy{}).Validate(); err == nil {
+		t.Error("empty policy accepted")
+	}
+	if err := (Policy{Visible: rng.Deterministic{Value: 1}}).Validate(); err == nil {
+		t.Error("policy without latent sampler accepted")
+	}
+}

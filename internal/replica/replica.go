@@ -1,0 +1,231 @@
+// Package replica describes replica placement topologies and the §6.5
+// independence dimensions: geography, administration, hardware batch,
+// software stack, and hosting organization. A topology compiles into the
+// set of common-cause shocks its shared components imply, which is how
+// "replication without independence does not help much" (§5.5) becomes a
+// runnable experiment.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+)
+
+// ErrInvalid reports a malformed topology.
+var ErrInvalid = errors.New("replica: invalid topology")
+
+// Dimension names one §6.5 independence axis.
+type Dimension string
+
+// The §6.5 independence dimensions.
+const (
+	Geography      Dimension = "geography"      // floods, earthquakes, 9/11-scale disasters
+	Administration Dimension = "administration" // one admin's error hits every replica they control
+	HardwareBatch  Dimension = "hardware"       // same batch, same firmware, same bathtub position
+	Software       Dimension = "software"       // epidemic failure, flash worms
+	Organization   Dimension = "organization"   // bankruptcy, mission change, budget cuts
+)
+
+// AllDimensions lists the dimensions in presentation order.
+var AllDimensions = []Dimension{Geography, Administration, HardwareBatch, Software, Organization}
+
+// Site is one replica's placement: the value it holds on each
+// independence dimension. Replicas sharing a value share that
+// component's failures.
+type Site struct {
+	// Name identifies the site ("SF-colo-A").
+	Name string
+	// Attr maps each dimension to this site's value on it ("us-west",
+	// "admin-team-1", "batch-2005Q1", "linux-ext3", "acme-corp").
+	Attr map[Dimension]string
+}
+
+// Topology is an ordered set of replica sites; replica index i lives at
+// Sites[i].
+type Topology struct {
+	Sites []Site
+}
+
+// Validate reports whether every site defines every dimension.
+func (t Topology) Validate() error {
+	if len(t.Sites) == 0 {
+		return fmt.Errorf("%w: no sites", ErrInvalid)
+	}
+	for i, s := range t.Sites {
+		if s.Name == "" {
+			return fmt.Errorf("%w: site %d unnamed", ErrInvalid, i)
+		}
+		for _, d := range AllDimensions {
+			if s.Attr[d] == "" {
+				return fmt.Errorf("%w: site %q missing dimension %q", ErrInvalid, s.Name, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Replicas returns the replica count.
+func (t Topology) Replicas() int { return len(t.Sites) }
+
+// SharedGroups returns, per dimension, the groups of replica indices that
+// share a value, for every value held by at least one replica. Group
+// order is deterministic (sorted by value).
+func (t Topology) SharedGroups(d Dimension) [][]int {
+	byValue := map[string][]int{}
+	for i, s := range t.Sites {
+		v := s.Attr[d]
+		byValue[v] = append(byValue[v], i)
+	}
+	values := make([]string, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	out := make([][]int, 0, len(values))
+	for _, v := range values {
+		out = append(out, byValue[v])
+	}
+	return out
+}
+
+// IndependenceScore returns the fraction of (replica pair, dimension)
+// combinations that differ: 1 means fully independent on every axis, 0
+// means everything shared. Single-replica topologies score 1 trivially.
+func (t Topology) IndependenceScore() float64 {
+	n := len(t.Sites)
+	if n < 2 {
+		return 1
+	}
+	pairs := 0
+	differ := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for _, d := range AllDimensions {
+				pairs++
+				if t.Sites[i].Attr[d] != t.Sites[j].Attr[d] {
+					differ++
+				}
+			}
+		}
+	}
+	return float64(differ) / float64(pairs)
+}
+
+// ShockRates maps each dimension to the mean time between that shared
+// component's failure events, in hours, and the fault class such an event
+// inflicts.
+type ShockRates map[Dimension]ShockSpec
+
+// ShockSpec describes the failure behaviour of one dimension's shared
+// components.
+type ShockSpec struct {
+	// Mean is the mean time between failures of one component on this
+	// dimension (one power domain, one admin team), in hours.
+	Mean float64
+	// Kind is the fault class the component's failure inflicts on the
+	// replicas that share it.
+	Kind faults.Type
+	// HitProb is the per-replica probability of actually being faulted
+	// by an event.
+	HitProb float64
+}
+
+// CompileShocks turns the topology into the common-cause shocks its
+// sharing structure implies: one shock per (dimension, shared value)
+// group. Every replica sees the same marginal rate on each dimension
+// regardless of the topology — only the *joint* structure changes — so
+// topologies are directly comparable in the independence experiments.
+func (t Topology) CompileShocks(rates ShockRates) ([]faults.Shock, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var shocks []faults.Shock
+	for _, d := range AllDimensions {
+		spec, ok := rates[d]
+		if !ok {
+			continue
+		}
+		if spec.Mean <= 0 {
+			return nil, fmt.Errorf("%w: dimension %q shock mean %v must be positive", ErrInvalid, d, spec.Mean)
+		}
+		for gi, group := range t.SharedGroups(d) {
+			s := faults.Shock{
+				Name:    fmt.Sprintf("%s/%d", d, gi),
+				Mean:    spec.Mean,
+				Targets: group,
+				Kind:    spec.Kind,
+				HitProb: spec.HitProb,
+			}
+			if err := s.Validate(); err != nil {
+				return nil, err
+			}
+			shocks = append(shocks, s)
+		}
+	}
+	return shocks, nil
+}
+
+// Colocated returns r replicas sharing everything: one machine room, one
+// admin team, one hardware batch, one software stack, one organization.
+// The §4.2 cautionary baseline.
+func Colocated(r int) Topology {
+	sites := make([]Site, r)
+	for i := range sites {
+		sites[i] = Site{
+			Name: fmt.Sprintf("colo-%d", i),
+			Attr: map[Dimension]string{
+				Geography:      "dc-1",
+				Administration: "ops-1",
+				HardwareBatch:  "batch-1",
+				Software:       "stack-1",
+				Organization:   "org-1",
+			},
+		}
+	}
+	return Topology{Sites: sites}
+}
+
+// GeoDistributed returns r replicas in distinct locations but under one
+// administration, hardware procurement, software stack, and organization
+// — the common "we have offsite replicas" posture that §4.2's 9/11
+// example shows is not enough.
+func GeoDistributed(r int) Topology {
+	sites := make([]Site, r)
+	for i := range sites {
+		sites[i] = Site{
+			Name: fmt.Sprintf("geo-%d", i),
+			Attr: map[Dimension]string{
+				Geography:      fmt.Sprintf("region-%d", i),
+				Administration: "ops-1",
+				HardwareBatch:  "batch-1",
+				Software:       "stack-1",
+				Organization:   "org-1",
+			},
+		}
+	}
+	return Topology{Sites: sites}
+}
+
+// FullyIndependent returns r replicas differing on every dimension — the
+// British Library posture of §6.5 (distinct locations, no administrator
+// touches more than one replica, rolling hardware procurement, diverse
+// software, separable organizations).
+func FullyIndependent(r int) Topology {
+	sites := make([]Site, r)
+	for i := range sites {
+		sites[i] = Site{
+			Name: fmt.Sprintf("indep-%d", i),
+			Attr: map[Dimension]string{
+				Geography:      fmt.Sprintf("region-%d", i),
+				Administration: fmt.Sprintf("ops-%d", i),
+				HardwareBatch:  fmt.Sprintf("batch-%d", i),
+				Software:       fmt.Sprintf("stack-%d", i),
+				Organization:   fmt.Sprintf("org-%d", i),
+			},
+		}
+	}
+	return Topology{Sites: sites}
+}

@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, top := range map[string]Topology{
+		"colocated":   Colocated(3),
+		"geo":         GeoDistributed(3),
+		"independent": FullyIndependent(3),
+	} {
+		if err := top.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if top.Replicas() != 3 {
+			t.Errorf("%s: %d replicas, want 3", name, top.Replicas())
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if err := (Topology{}).Validate(); err == nil {
+		t.Error("empty topology accepted")
+	}
+	broken := Colocated(2)
+	broken.Sites[1].Name = ""
+	if err := broken.Validate(); err == nil {
+		t.Error("unnamed site accepted")
+	}
+	missing := Colocated(2)
+	delete(missing.Sites[0].Attr, Software)
+	if err := missing.Validate(); err == nil {
+		t.Error("missing dimension accepted")
+	}
+}
+
+func TestIndependenceScores(t *testing.T) {
+	if got := Colocated(3).IndependenceScore(); got != 0 {
+		t.Errorf("colocated score = %v, want 0", got)
+	}
+	if got := FullyIndependent(3).IndependenceScore(); got != 1 {
+		t.Errorf("fully independent score = %v, want 1", got)
+	}
+	// Geo-distributed differs on exactly 1 of 5 dimensions.
+	if got := GeoDistributed(3).IndependenceScore(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("geo-distributed score = %v, want 0.2", got)
+	}
+	if got := Colocated(1).IndependenceScore(); got != 1 {
+		t.Errorf("single-replica score = %v, want trivially 1", got)
+	}
+}
+
+func TestSharedGroups(t *testing.T) {
+	top := GeoDistributed(3)
+	geo := top.SharedGroups(Geography)
+	if len(geo) != 3 {
+		t.Errorf("geography groups = %v, want 3 singletons", geo)
+	}
+	admin := top.SharedGroups(Administration)
+	if len(admin) != 1 || len(admin[0]) != 3 {
+		t.Errorf("administration groups = %v, want one group of 3", admin)
+	}
+}
+
+func defaultRates() ShockRates {
+	return ShockRates{
+		Geography:      {Mean: 8760 * 50, Kind: faults.Visible, HitProb: 1}, // disaster every ~50y per region
+		Administration: {Mean: 8760 * 5, Kind: faults.Latent, HitProb: 0.8}, // bad admin action
+		Software:       {Mean: 8760 * 10, Kind: faults.Latent, HitProb: 1},  // worm/epidemic bug
+	}
+}
+
+func TestCompileShocksStructure(t *testing.T) {
+	rates := defaultRates()
+	colo, err := Colocated(3).CompileShocks(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One group per configured dimension (all replicas shared).
+	if len(colo) != 3 {
+		t.Fatalf("colocated shocks = %d, want 3 (one per configured dimension)", len(colo))
+	}
+	for _, s := range colo {
+		if len(s.Targets) != 3 {
+			t.Errorf("colocated shock %q targets %v, want all 3 replicas", s.Name, s.Targets)
+		}
+	}
+	indep, err := FullyIndependent(3).CompileShocks(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indep) != 9 {
+		t.Fatalf("independent shocks = %d, want 9 (3 dims x 3 singleton groups)", len(indep))
+	}
+	for _, s := range indep {
+		if len(s.Targets) != 1 {
+			t.Errorf("independent shock %q targets %v, want singleton", s.Name, s.Targets)
+		}
+	}
+}
+
+// The central comparability property: marginal per-replica shock rates
+// are identical across topologies; only the joint structure differs.
+func TestCompileShocksEqualMarginals(t *testing.T) {
+	rates := defaultRates()
+	topologies := map[string]Topology{
+		"colocated":   Colocated(4),
+		"geo":         GeoDistributed(4),
+		"independent": FullyIndependent(4),
+	}
+	var reference []float64
+	for name, top := range topologies {
+		shocks, err := top.CompileShocks(rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := make([]float64, top.Replicas())
+		for r := range rates {
+			rates[r] = faults.MarginalRate(shocks, r)
+		}
+		if reference == nil {
+			reference = rates
+			continue
+		}
+		for r, got := range rates {
+			if math.Abs(got-reference[r]) > 1e-15 {
+				t.Errorf("%s replica %d marginal rate %v differs from reference %v", name, r, got, reference[r])
+			}
+		}
+	}
+}
+
+func TestCompileShocksSkipsUnconfiguredDimensions(t *testing.T) {
+	shocks, err := Colocated(2).CompileShocks(ShockRates{
+		Geography: {Mean: 1000, Kind: faults.Visible, HitProb: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shocks) != 1 {
+		t.Errorf("shocks = %d, want 1 (only geography configured)", len(shocks))
+	}
+}
+
+func TestCompileShocksRejectsBadSpec(t *testing.T) {
+	_, err := Colocated(2).CompileShocks(ShockRates{
+		Geography: {Mean: 0, Kind: faults.Visible, HitProb: 1},
+	})
+	if err == nil {
+		t.Error("zero shock mean accepted")
+	}
+	_, err = Colocated(2).CompileShocks(ShockRates{
+		Geography: {Mean: 100, Kind: faults.Visible, HitProb: 2},
+	})
+	if err == nil {
+		t.Error("hit probability 2 accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrPlot reports unusable plot input.
+var ErrPlot = errors.New("report: invalid plot input")
+
+// Series is one named line of (X, Y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LinePlot renders series as an ASCII scatter/line chart — the terminal
+// stand-in for the paper's figures.
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX / LogY switch the axes to log10 scale (reliability sweeps
+	// span orders of magnitude).
+	LogX, LogY bool
+	// Width and Height are the plot area in characters; zero means the
+	// 72x20 default.
+	Width, Height int
+
+	series []Series
+}
+
+// markers distinguish up to eight series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Add appends a series. X and Y must be equal-length and non-empty.
+func (p *LinePlot) Add(s Series) error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("%w: series %q has %d x and %d y points", ErrPlot, s.Name, len(s.X), len(s.Y))
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// MustAdd is Add that panics on malformed series (static call sites).
+func (p *LinePlot) MustAdd(s Series) {
+	if err := p.Add(s); err != nil {
+		panic(err)
+	}
+}
+
+func (p *LinePlot) dims() (w, h int) {
+	w, h = p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// transform applies the axis scaling, dropping non-plottable points.
+func transform(v float64, log bool) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	if log {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+// Render writes the plot.
+func (p *LinePlot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("%w: no series", ErrPlot)
+	}
+	width, height := p.dims()
+
+	// Collect transformed points and ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(p.series))
+	for si, s := range p.series {
+		for i := range s.X {
+			x, okx := transform(s.X[i], p.LogX)
+			y, oky := transform(s.Y[i], p.LogY)
+			if !okx || !oky {
+				continue
+			}
+			pts[si] = append(pts[si], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX {
+		return fmt.Errorf("%w: no plottable points", ErrPlot)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si := range pts {
+		m := markers[si%len(markers)]
+		for _, q := range pts[si] {
+			col := int((q.x - minX) / (maxX - minX) * float64(width-1))
+			row := int((q.y - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-row][col] = m
+		}
+	}
+
+	var sb strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", p.Title)
+	}
+	axisLabel := func(v float64, log bool) string {
+		if log {
+			return FormatFloat(math.Pow(10, v))
+		}
+		return FormatFloat(v)
+	}
+	topLabel := axisLabel(maxY, p.LogY)
+	botLabel := axisLabel(minY, p.LogY)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  %s%s%s\n",
+		strings.Repeat(" ", pad),
+		axisLabel(minX, p.LogX),
+		strings.Repeat(" ", max(1, width-len(axisLabel(minX, p.LogX))-len(axisLabel(maxX, p.LogX)))),
+		axisLabel(maxX, p.LogX))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), p.XLabel, p.YLabel)
+	}
+	// Legend in series order.
+	names := make([]string, 0, len(p.series))
+	for si, s := range p.series {
+		names = append(names, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "%s  legend: %s\n", strings.Repeat(" ", pad), strings.Join(names, "   "))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,133 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonProcessIncreasing(t *testing.T) {
+	p, err := NewPoissonProcess(2, New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 10000; i++ {
+		next := p.Next()
+		if next <= prev {
+			t.Fatalf("event %d: time %v not after %v", i, next, prev)
+		}
+		prev = next
+	}
+	if p.Now() != prev {
+		t.Errorf("Now() = %v, want %v", p.Now(), prev)
+	}
+}
+
+func TestPoissonProcessRate(t *testing.T) {
+	const rate = 0.5
+	p, err := NewPoissonProcess(rate, New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	gotRate := n / last
+	if math.Abs(gotRate-rate)/rate > 0.02 {
+		t.Errorf("empirical rate %v, want %v within 2%%", gotRate, rate)
+	}
+}
+
+func TestPoissonProcessReset(t *testing.T) {
+	p, err := NewPoissonProcess(1, New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Next()
+	p.Reset(100)
+	if next := p.Next(); next <= 100 {
+		t.Errorf("after Reset(100), Next() = %v, want > 100", next)
+	}
+}
+
+func TestPoissonProcessInvalidRate(t *testing.T) {
+	for _, rate := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoissonProcess(rate, New(1)); err == nil {
+			t.Errorf("NewPoissonProcess(%v) accepted invalid rate", rate)
+		}
+	}
+}
+
+func TestPoissonCountMean(t *testing.T) {
+	src := New(4)
+	for _, mean := range []float64{0.1, 1, 5, 25, 100} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(src.PoissonCount(mean))
+		}
+		got := sum / n
+		tol := 4 * math.Sqrt(mean/n) // 4 sigma on the sample mean
+		if math.Abs(got-mean) > tol+0.01 {
+			t.Errorf("PoissonCount(%v) sample mean %v, want within %v", mean, got, tol)
+		}
+	}
+}
+
+func TestPoissonCountEdge(t *testing.T) {
+	src := New(5)
+	if c := src.PoissonCount(0); c != 0 {
+		t.Errorf("PoissonCount(0) = %d, want 0", c)
+	}
+	if c := src.PoissonCount(-1); c != 0 {
+		t.Errorf("PoissonCount(-1) = %d, want 0", c)
+	}
+}
+
+func TestBinomialSmall(t *testing.T) {
+	src := New(6)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(src.Binomial(20, 0.3))
+	}
+	got := sum / n
+	if math.Abs(got-6) > 0.05 {
+		t.Errorf("Binomial(20, 0.3) mean %v, want 6 +- 0.05", got)
+	}
+}
+
+func TestBinomialPoissonLimit(t *testing.T) {
+	// Bit-error regime: n huge, p tiny. Expected count n*p.
+	src := New(7)
+	const trials = 20000
+	n := 1 << 40 // ~1e12 "bits"
+	p := 5e-12
+	want := float64(n) * p // ~5.5
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(src.Binomial(n, p))
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Binomial(%d, %v) mean %v, want %v within 5%%", n, p, got, want)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	src := New(8)
+	if c := src.Binomial(0, 0.5); c != 0 {
+		t.Errorf("Binomial(0, .5) = %d, want 0", c)
+	}
+	if c := src.Binomial(10, 0); c != 0 {
+		t.Errorf("Binomial(10, 0) = %d, want 0", c)
+	}
+	if c := src.Binomial(10, 1); c != 10 {
+		t.Errorf("Binomial(10, 1) = %d, want 10", c)
+	}
+	if c := src.Binomial(10, 2); c != 10 {
+		t.Errorf("Binomial(10, 2) = %d, want 10 (clamped)", c)
+	}
+}

@@ -1,0 +1,200 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNone(t *testing.T) {
+	var n None
+	if _, ok := n.NextAudit(100, rng.New(1)); ok {
+		t.Error("None scheduled an audit")
+	}
+	if !math.IsInf(n.MeanDetectionLag(), 1) {
+		t.Error("None should have infinite detection lag")
+	}
+	if n.Name() != "none" {
+		t.Errorf("name = %q", n.Name())
+	}
+}
+
+func TestPeriodicPaperMDL(t *testing.T) {
+	// The paper's 3 scrubs/year => MDL = 1460 h.
+	p, err := NewPeriodic(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MeanDetectionLag(); got != 1460 {
+		t.Errorf("3/year mean detection lag = %v, want 1460", got)
+	}
+}
+
+func TestPeriodicNextAudit(t *testing.T) {
+	p := Periodic{Interval: 100, Offset: 10}
+	cases := []struct{ now, want float64 }{
+		{0, 10},
+		{10, 110}, // strictly after now
+		{10.5, 110},
+		{109.999, 110},
+		{110, 210},
+		{1050, 1110},
+	}
+	for _, c := range cases {
+		got, ok := p.NextAudit(c.now, nil)
+		if !ok || got != c.want {
+			t.Errorf("NextAudit(%v) = %v, %v; want %v, true", c.now, got, ok, c.want)
+		}
+	}
+}
+
+func TestPeriodicStrictlyAfterNow(t *testing.T) {
+	p := Periodic{Interval: 0.1, Offset: 0}
+	now := 0.0
+	for i := 0; i < 1000; i++ {
+		next, ok := p.NextAudit(now, nil)
+		if !ok || next <= now {
+			t.Fatalf("audit %d: NextAudit(%v) = %v not strictly later", i, now, next)
+		}
+		now = next
+	}
+}
+
+func TestPeriodicEmpiricalLag(t *testing.T) {
+	// Faults dropped uniformly into the schedule must wait Interval/2 on
+	// average.
+	p := Periodic{Interval: 200, Offset: 0}
+	src := rng.New(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		at := src.Float64() * 10000
+		next, _ := p.NextAudit(at, nil)
+		sum += next - at
+	}
+	got := sum / n
+	if math.Abs(got-100)/100 > 0.02 {
+		t.Errorf("empirical mean lag = %v, want 100 within 2%%", got)
+	}
+}
+
+func TestPoissonEmpiricalLag(t *testing.T) {
+	p, err := NewPoisson(8760.0 / 200) // mean interval 200h
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.MeanInterval-200) > 1e-9 {
+		t.Fatalf("mean interval = %v, want 200", p.MeanInterval)
+	}
+	src := rng.New(8)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		next, ok := p.NextAudit(50, src)
+		if !ok || next <= 50 {
+			t.Fatalf("NextAudit returned %v, %v", next, ok)
+		}
+		sum += next - 50
+	}
+	got := sum / n
+	// Memoryless: the wait is the full mean interval, double the
+	// periodic schedule's lag at equal audit budget.
+	if math.Abs(got-200)/200 > 0.02 {
+		t.Errorf("empirical mean lag = %v, want 200 within 2%%", got)
+	}
+	if p.MeanDetectionLag() != 200 {
+		t.Errorf("analytic lag = %v, want 200", p.MeanDetectionLag())
+	}
+}
+
+func TestPeriodicBeatsPoissonAtEqualBudget(t *testing.T) {
+	per, _ := NewPeriodic(3, 0)
+	poi, _ := NewPoisson(3)
+	if per.MeanDetectionLag() >= poi.MeanDetectionLag() {
+		t.Errorf("periodic lag %v should beat poisson lag %v at the same audit budget",
+			per.MeanDetectionLag(), poi.MeanDetectionLag())
+	}
+	if ratio := poi.MeanDetectionLag() / per.MeanDetectionLag(); math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("poisson/periodic lag ratio = %v, want exactly 2", ratio)
+	}
+}
+
+func TestOnAccess(t *testing.T) {
+	// §6.2: per-item access so rare it cannot be the detector. 1 access
+	// per replica per 100h with 1e-3 coverage => lag 1e5 h.
+	a, err := NewOnAccess(0.01, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MeanDetectionLag(); math.Abs(got-1e5)/1e5 > 1e-9 {
+		t.Errorf("on-access lag = %v, want 1e5", got)
+	}
+	src := rng.New(9)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		next, ok := a.NextAudit(0, src)
+		if !ok {
+			t.Fatal("on-access returned no audit")
+		}
+		sum += next
+	}
+	if got := sum / n; math.Abs(got-1e5)/1e5 > 0.02 {
+		t.Errorf("empirical on-access lag = %v, want 1e5 within 2%%", got)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	per := Periodic{Interval: 1000, Offset: 0}
+	acc := OnAccess{RatePerHour: 0.01, Coverage: 0.1} // lag 1000
+	c := Combined{Parts: []Strategy{per, acc}}
+	src := rng.New(10)
+	// Earliest of the two always wins.
+	for i := 0; i < 1000; i++ {
+		now := src.Float64() * 5000
+		got, ok := c.NextAudit(now, src)
+		if !ok {
+			t.Fatal("combined returned no audit")
+		}
+		pNext, _ := per.NextAudit(now, src)
+		if got > pNext {
+			t.Fatalf("combined audit %v after periodic %v", got, pNext)
+		}
+		if got <= now {
+			t.Fatalf("combined audit %v not after now %v", got, now)
+		}
+	}
+	// Parts have lags 500 (periodic 1000h) and 1000 (on-access); the
+	// competing-process combination is 1/(1/500 + 1/1000) = 333.3.
+	if got := c.MeanDetectionLag(); math.Abs(got-1000.0/3) > 1e-9 {
+		t.Errorf("combined lag = %v, want 333.33", got)
+	}
+	if got := (Combined{Parts: []Strategy{None{}}}).MeanDetectionLag(); !math.IsInf(got, 1) {
+		t.Errorf("combined of None = %v, want +Inf", got)
+	}
+	if name := c.Name(); name == "" {
+		t.Error("combined name empty")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewPeriodic(0, 0); err == nil {
+		t.Error("NewPeriodic(0) accepted")
+	}
+	if _, err := NewPeriodic(math.NaN(), 0); err == nil {
+		t.Error("NewPeriodic(NaN) accepted")
+	}
+	if _, err := NewPoisson(-1); err == nil {
+		t.Error("NewPoisson(-1) accepted")
+	}
+	if _, err := NewOnAccess(0, 0.5); err == nil {
+		t.Error("NewOnAccess zero rate accepted")
+	}
+	if _, err := NewOnAccess(1, 0); err == nil {
+		t.Error("NewOnAccess zero coverage accepted")
+	}
+	if _, err := NewOnAccess(1, 1.5); err == nil {
+		t.Error("NewOnAccess coverage above 1 accepted")
+	}
+}

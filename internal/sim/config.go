@@ -1,0 +1,211 @@
+// Package sim is the event-driven Monte Carlo simulator of replicated
+// long-term storage: the validation substrate for the paper's analytic
+// model and the tool for exploring where its approximations break.
+//
+// A trial simulates r replicas of one unit of data. Each replica suffers
+// visible faults (noticed immediately, repaired from a surviving copy)
+// and latent faults (silent until an audit, an access, or a subsequent
+// visible fault surfaces them). Correlation accelerates fault arrivals on
+// healthy replicas while any fault is outstanding (the paper's α), and
+// common-cause shocks fault several replicas at once (the Talagala
+// shared-component channel). The trial ends when every replica is
+// simultaneously faulty — the generalization of the paper's double-fault
+// data-loss event — or when the horizon is reached (censored).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/repair"
+	"repro/internal/scrub"
+)
+
+// ErrInvalidConfig reports a simulator configuration outside its domain.
+var ErrInvalidConfig = errors.New("sim: invalid config")
+
+// Config describes one replicated-storage system.
+type Config struct {
+	// Replicas is the number of copies r (>= 1). For an erasure-coded
+	// object it is the number of fragments n.
+	Replicas int
+	// MinIntact is the number of intact replicas required to recover the
+	// data: 1 for plain replication (any surviving copy suffices, the
+	// paper's model), m for an m-of-n erasure code (§7, the
+	// Weatherspoon/OceanStore design point). 0 defaults to 1.
+	MinIntact int
+	// VisibleMean is the per-replica mean time to a visible fault (the
+	// model's MV), in hours. +Inf disables the channel.
+	VisibleMean float64
+	// LatentMean is the per-replica mean time to a latent fault (ML), in
+	// hours. +Inf disables the channel.
+	LatentMean float64
+	// Scrub schedules proactive audits of each replica; audits detect
+	// outstanding latent faults. scrub.None{} for a system that never
+	// audits.
+	Scrub scrub.Strategy
+	// ScrubPerReplica, if non-nil, overrides Scrub with one strategy per
+	// replica — e.g. staggered periodic schedules so replicas are not
+	// audited in lockstep. Must have exactly Replicas entries.
+	ScrubPerReplica []scrub.Strategy
+	// AccessDetect, if non-nil, is the §4.1 user-access detection
+	// channel: an additional, usually very slow, detector for latent
+	// faults (typically scrub.OnAccess).
+	AccessDetect scrub.Strategy
+	// Repair is the recovery policy for detected faults.
+	Repair repair.Policy
+	// Correlation is the inter-replica fault acceleration model (the
+	// paper's α). faults.Independent{} for independent replicas.
+	Correlation faults.Correlation
+	// Shocks are common-cause fault sources hitting several replicas at
+	// once (shared power, admin domains, disasters).
+	Shocks []faults.Shock
+	// AuditLatentFaultProb is the §6.6 audit side effect: the
+	// probability that one audit pass plants a new latent fault on the
+	// audited replica (media wear, handling).
+	AuditLatentFaultProb float64
+	// AuditVisibleFaultProb is the probability that one audit pass
+	// destroys the replica outright (offline-media handling accidents).
+	AuditVisibleFaultProb float64
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	if c.Replicas < 1 {
+		return fmt.Errorf("%w: replicas %d must be >= 1", ErrInvalidConfig, c.Replicas)
+	}
+	if c.MinIntact < 0 || c.MinIntact > c.Replicas {
+		return fmt.Errorf("%w: min intact %d must be in [0, %d]", ErrInvalidConfig, c.MinIntact, c.Replicas)
+	}
+	for name, v := range map[string]float64{
+		"visible mean": c.VisibleMean,
+		"latent mean":  c.LatentMean,
+	} {
+		if math.IsNaN(v) || v <= 0 {
+			return fmt.Errorf("%w: %s %v must be positive (use +Inf to disable)", ErrInvalidConfig, name, v)
+		}
+	}
+	if math.IsInf(c.VisibleMean, 1) && math.IsInf(c.LatentMean, 1) && len(c.Shocks) == 0 {
+		return fmt.Errorf("%w: no fault channel configured", ErrInvalidConfig)
+	}
+	if c.Scrub == nil {
+		return fmt.Errorf("%w: nil scrub strategy (use scrub.None{})", ErrInvalidConfig)
+	}
+	if c.ScrubPerReplica != nil && len(c.ScrubPerReplica) != c.Replicas {
+		return fmt.Errorf("%w: %d per-replica scrub strategies for %d replicas", ErrInvalidConfig, len(c.ScrubPerReplica), c.Replicas)
+	}
+	for i, s := range c.ScrubPerReplica {
+		if s == nil {
+			return fmt.Errorf("%w: nil per-replica scrub strategy at index %d", ErrInvalidConfig, i)
+		}
+	}
+	if err := c.Repair.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if c.Correlation == nil {
+		return fmt.Errorf("%w: nil correlation model (use faults.Independent{})", ErrInvalidConfig)
+	}
+	for _, s := range c.Shocks {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		for _, target := range s.Targets {
+			if target >= c.Replicas {
+				return fmt.Errorf("%w: shock %q targets replica %d of %d", ErrInvalidConfig, s.Name, target, c.Replicas)
+			}
+		}
+	}
+	for name, p := range map[string]float64{
+		"audit latent fault probability":  c.AuditLatentFaultProb,
+		"audit visible fault probability": c.AuditVisibleFaultProb,
+	} {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("%w: %s %v must be in [0,1]", ErrInvalidConfig, name, p)
+		}
+	}
+	return nil
+}
+
+// ModelParams maps the configuration onto the analytic model's
+// parameters for closed-form comparison. Shock channels fold into the
+// per-replica fault rates (each replica sees its marginal shock rate);
+// detection channels combine as competing processes.
+func (c Config) ModelParams() model.Params {
+	combine := func(mean, extraRate float64) float64 {
+		rate := extraRate
+		if !math.IsInf(mean, 1) {
+			rate += 1 / mean
+		}
+		if rate == 0 {
+			return math.Inf(1)
+		}
+		return 1 / rate
+	}
+	// Shock marginal rates by fault class; replicas can differ, use
+	// replica 0 — topology comparisons keep marginals equal by design.
+	var visShockRate, latShockRate float64
+	for _, s := range c.Shocks {
+		for _, t := range s.Targets {
+			if t != 0 {
+				continue
+			}
+			switch s.Kind {
+			case faults.Visible:
+				visShockRate += s.PerReplicaRate()
+			case faults.Latent:
+				latShockRate += s.PerReplicaRate()
+			}
+			break
+		}
+	}
+	detect := c.Scrub.MeanDetectionLag()
+	if c.AccessDetect != nil {
+		parts := scrub.Combined{Parts: []scrub.Strategy{c.Scrub, c.AccessDetect}}
+		detect = parts.MeanDetectionLag()
+	}
+	return model.Params{
+		MV:    combine(c.VisibleMean, visShockRate),
+		ML:    combine(c.LatentMean, latShockRate),
+		MRV:   c.Repair.MeanVisible(),
+		MRL:   c.Repair.MeanLatent(),
+		MDL:   detect,
+		Alpha: c.Correlation.Alpha(),
+	}
+}
+
+// PaperConfig returns the simulator configuration matching the paper's
+// §5.4 worked scenario: mirrored replicas with the Cheetah parameters,
+// the given audits per year (0 = never), and correlation factor alpha.
+func PaperConfig(scrubsPerYear, alpha float64) (Config, error) {
+	rep, err := repair.Automated(model.PaperMRV, model.PaperMRL, 0)
+	if err != nil {
+		return Config{}, err
+	}
+	var strat scrub.Strategy = scrub.None{}
+	if scrubsPerYear > 0 {
+		p, err := scrub.NewPeriodic(scrubsPerYear, 0)
+		if err != nil {
+			return Config{}, err
+		}
+		strat = p
+	}
+	var corr faults.Correlation = faults.Independent{}
+	if alpha < 1 {
+		a, err := faults.NewAlphaCorrelation(alpha)
+		if err != nil {
+			return Config{}, err
+		}
+		corr = a
+	}
+	return Config{
+		Replicas:    2,
+		VisibleMean: model.PaperMV,
+		LatentMean:  model.PaperML,
+		Scrub:       strat,
+		Repair:      rep,
+		Correlation: corr,
+	}, nil
+}

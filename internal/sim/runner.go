@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Options control a Monte Carlo estimation run.
+type Options struct {
+	// Trials is the number of independent trials (required, >= 2).
+	Trials int
+	// Horizon censors each trial at this many hours. 0 runs every trial
+	// to data loss — only affordable when the configured MTTDL is not
+	// astronomically beyond the fault scales.
+	Horizon float64
+	// Seed fixes the run's randomness; the same seed, config, and trial
+	// count reproduce results exactly, regardless of parallelism.
+	Seed uint64
+	// Parallel is the worker count; 0 means GOMAXPROCS.
+	Parallel int
+	// Level is the confidence level for intervals (default 0.95).
+	Level float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Level == 0 {
+		o.Level = 0.95
+	}
+	return o
+}
+
+// DoubleFaultMatrix counts loss events by (first fault, final fault)
+// class — the empirical version of the paper's Figure 2.
+type DoubleFaultMatrix struct {
+	// Losses[first][final] counts losses whose fatal window was opened
+	// by a `first`-class fault and closed by a `final`-class one.
+	Losses [2][2]int
+	// WOVByVis and WOVByLat count windows of vulnerability opened by
+	// each class (the denominators for conditional loss probabilities).
+	WOVByVis, WOVByLat int
+}
+
+// ConditionalLossProb returns the estimated probability that a window
+// opened by `first` ends in loss completed by `final` — the Monte Carlo
+// counterpart of eqs 3–6.
+func (m DoubleFaultMatrix) ConditionalLossProb(first, final faults.Type) float64 {
+	wov := m.WOVByVis
+	if first == faults.Latent {
+		wov = m.WOVByLat
+	}
+	if wov == 0 {
+		return math.NaN()
+	}
+	return float64(m.Losses[first][final]) / float64(wov)
+}
+
+// Estimate is the outcome of a Monte Carlo run.
+type Estimate struct {
+	// MTTDL is the mean time to data loss in hours with its confidence
+	// interval. With censoring (Horizon > 0 and censored trials
+	// present), this is the Kaplan–Meier restricted mean, a lower bound
+	// on the true MTTDL, and the interval degrades to the uncensored
+	// subset's t-interval.
+	MTTDL stats.Interval
+	// LossProb is P(data loss within Horizon) with its Wilson interval.
+	// Only meaningful when Horizon > 0.
+	LossProb stats.Interval
+	// Survival is the fitted Kaplan–Meier curve over the trials.
+	Survival *stats.KaplanMeier
+	// Trials and Censored count the run's outcomes.
+	Trials, Censored int
+	// Stats aggregates event counts over all trials.
+	Stats TrialStats
+	// Matrix is the empirical Figure 2 double-fault matrix.
+	Matrix DoubleFaultMatrix
+}
+
+// Runner executes Monte Carlo estimations of a configuration.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates the configuration and returns a Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// RunTrial executes one trial with the stream derived from (seed, index)
+// and returns its result. Exposed for replaying individual trials.
+func (r *Runner) RunTrial(seed, index uint64, horizon float64) TrialResult {
+	src := rng.New(seed).Derive(index + 0x517cc1b727220a95)
+	t := newTrial(&r.cfg, src, nil)
+	return t.run(horizon)
+}
+
+// Estimate runs opt.Trials independent trials and aggregates them.
+func (r *Runner) Estimate(opt Options) (Estimate, error) {
+	opt = opt.withDefaults()
+	if opt.Trials < 2 {
+		return Estimate{}, fmt.Errorf("%w: %d trials, need >= 2", ErrInvalidConfig, opt.Trials)
+	}
+	if opt.Horizon < 0 || math.IsNaN(opt.Horizon) {
+		return Estimate{}, fmt.Errorf("%w: horizon %v must be >= 0", ErrInvalidConfig, opt.Horizon)
+	}
+
+	results := make([]TrialResult, opt.Trials)
+	var wg sync.WaitGroup
+	next := make(chan int, opt.Trials)
+	for i := 0; i < opt.Trials; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < opt.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = r.RunTrial(opt.Seed, uint64(i), opt.Horizon)
+			}
+		}()
+	}
+	wg.Wait()
+
+	return aggregate(results, opt)
+}
+
+// aggregate reduces trial results into an Estimate.
+func aggregate(results []TrialResult, opt Options) (Estimate, error) {
+	var est Estimate
+	est.Trials = len(results)
+	obs := make([]stats.Observation, 0, len(results))
+	var lossTimes stats.Running
+	var lossWithinHorizon stats.Proportion
+	for _, res := range results {
+		est.Stats.add(res.Stats)
+		obs = append(obs, stats.Observation{Time: res.Time, Event: res.Lost})
+		if res.Lost {
+			lossTimes.Add(res.Time)
+			est.Matrix.Losses[res.FirstFault][res.FinalFault]++
+		} else {
+			est.Censored++
+		}
+		if opt.Horizon > 0 {
+			lossWithinHorizon.Add(res.Lost)
+		}
+	}
+	est.Matrix.WOVByVis = est.Stats.WOVOpenedByVis
+	est.Matrix.WOVByLat = est.Stats.WOVOpenedByLat
+
+	km, err := stats.NewKaplanMeier(obs)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("sim: fitting survival curve: %w", err)
+	}
+	est.Survival = km
+
+	switch {
+	case est.Censored == 0:
+		iv, err := lossTimes.MeanCI(opt.Level)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("sim: MTTDL interval: %w", err)
+		}
+		est.MTTDL = iv
+	case lossTimes.N() >= 2:
+		// Censored run: report the restricted mean (a defensible lower
+		// bound) with the uncensored subset's spread as a rough
+		// interval.
+		rm := km.RestrictedMean(opt.Horizon)
+		iv, err := lossTimes.MeanCI(opt.Level)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("sim: MTTDL interval: %w", err)
+		}
+		half := iv.HalfWidth()
+		est.MTTDL = stats.Interval{Point: rm, Lo: rm - half, Hi: rm + half, Level: opt.Level}
+	default:
+		// (Almost) nothing was lost before the horizon: the restricted
+		// mean is essentially the horizon and carries no spread.
+		rm := km.RestrictedMean(opt.Horizon)
+		est.MTTDL = stats.Interval{Point: rm, Lo: rm, Hi: rm, Level: opt.Level}
+	}
+
+	if opt.Horizon > 0 {
+		iv, err := lossWithinHorizon.CI(opt.Level)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("sim: loss probability interval: %w", err)
+		}
+		est.LossProb = iv
+	}
+	return est, nil
+}

@@ -1,0 +1,496 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/scrub"
+)
+
+// replicaState is the per-replica lifecycle.
+type replicaState int
+
+const (
+	stateHealthy replicaState = iota
+	// stateLatent: an undetected latent fault is outstanding. The
+	// replica still serves (wrong) data; no one knows.
+	stateLatent
+	// stateRepairing: a fault is known and repair is underway. The
+	// replica is unavailable as a recovery source until repair
+	// completes.
+	stateRepairing
+)
+
+// TrialStats counts what happened during one trial.
+type TrialStats struct {
+	VisibleFaults  int // visible faults incurred (incl. shock-inflicted)
+	LatentFaults   int // latent faults incurred (incl. audit/repair-planted)
+	Detections     int // latent faults surfaced by audit/access/visible fault
+	Repairs        int // completed repairs
+	Audits         int // audit passes executed (0 in the lazy fast path)
+	ShockEvents    int // common-cause events fired
+	AuditInduced   int // faults planted by audit side effects
+	RepairBugs     int // latent faults planted by buggy repairs
+	WOVOpenedByVis int // windows of vulnerability opened by a visible fault
+	WOVOpenedByLat int // windows opened by a latent fault
+}
+
+// add accumulates other into s.
+func (s *TrialStats) add(o TrialStats) {
+	s.VisibleFaults += o.VisibleFaults
+	s.LatentFaults += o.LatentFaults
+	s.Detections += o.Detections
+	s.Repairs += o.Repairs
+	s.Audits += o.Audits
+	s.ShockEvents += o.ShockEvents
+	s.AuditInduced += o.AuditInduced
+	s.RepairBugs += o.RepairBugs
+	s.WOVOpenedByVis += o.WOVOpenedByVis
+	s.WOVOpenedByLat += o.WOVOpenedByLat
+}
+
+// TrialResult is the outcome of one trial.
+type TrialResult struct {
+	// Lost reports whether data loss occurred before the horizon.
+	Lost bool
+	// Time is the loss time (hours) when Lost, else the censoring
+	// horizon.
+	Time float64
+	// FirstFault and FinalFault are the classes of the fault that opened
+	// the fatal window of vulnerability and the fault that closed it —
+	// the coordinates of the paper's Figure 2 matrix. Valid only when
+	// Lost.
+	FirstFault, FinalFault faults.Type
+	// Stats counts trial events.
+	Stats TrialStats
+}
+
+// replica is the per-copy simulation state.
+type replica struct {
+	state replicaState
+	// faultKind is the class of the outstanding fault (valid outside
+	// stateHealthy). A latent-faulty replica hit by a visible fault
+	// escalates to visible.
+	faultKind faults.Type
+	// faultAt is when the current outstanding fault occurred.
+	faultAt float64
+
+	visible *faults.Process
+	latent  *faults.Process
+
+	visibleEv *des.Handle // pending visible fault arrival
+	latentEv  *des.Handle // pending latent fault arrival
+	detectEv  *des.Handle // pending access-channel detection
+	repairEv  *des.Handle // pending repair completion
+
+	src *rng.Source // fault/repair randomness for this replica
+}
+
+// trial is one running simulation.
+type trial struct {
+	cfg      *Config
+	eng      *des.Engine
+	reps     []*replica
+	auditSrc *rng.Source
+	shockSrc *rng.Source
+
+	// lossAt is the faulty-replica count at which the data become
+	// irrecoverable: Replicas - MinIntact + 1.
+	lossAt int
+
+	// lazyAudit short-circuits audit scheduling: when audits have no
+	// side effects and no trace wants to see them, an audit pass only
+	// matters if a latent fault is outstanding, so the detection time
+	// can be computed directly at fault time instead of simulating
+	// every pass. Exact for the strategies shipped here: Periodic is
+	// deterministic from absolute time, Poisson/OnAccess are
+	// memoryless.
+	lazyAudit bool
+
+	faulty int // replicas not healthy
+
+	lost     bool
+	lossTime float64
+	first    faults.Type // fault class that opened the fatal WOV
+	final    faults.Type // fault class that completed it
+
+	stats TrialStats
+	trace *Trace // optional event trace (nil = off)
+}
+
+// newTrial builds the event graph for one trial. src must be a
+// trial-specific stream. trace may be nil.
+func newTrial(cfg *Config, src *rng.Source, trace *Trace) *trial {
+	t := &trial{
+		cfg:       cfg,
+		eng:       &des.Engine{},
+		reps:      make([]*replica, cfg.Replicas),
+		auditSrc:  src.DeriveString("audit"),
+		shockSrc:  src.DeriveString("shock"),
+		trace:     trace,
+		lazyAudit: cfg.AuditLatentFaultProb == 0 && cfg.AuditVisibleFaultProb == 0 && trace == nil,
+	}
+	minIntact := cfg.MinIntact
+	if minIntact < 1 {
+		minIntact = 1
+	}
+	t.lossAt = cfg.Replicas - minIntact + 1
+	for i := range t.reps {
+		rsrc := src.Derive(uint64(i) + 1)
+		vis, err := faults.NewProcess(cfg.VisibleMean)
+		if err != nil {
+			panic("sim: config validated but visible process rejected: " + err.Error())
+		}
+		lat, err := faults.NewProcess(cfg.LatentMean)
+		if err != nil {
+			panic("sim: config validated but latent process rejected: " + err.Error())
+		}
+		t.reps[i] = &replica{visible: vis, latent: lat, src: rsrc}
+	}
+	// Arm the initial fault arrivals and audit schedules.
+	for i := range t.reps {
+		t.armVisible(i)
+		t.armLatent(i)
+		if !t.lazyAudit {
+			t.armAudit(i)
+		}
+	}
+	// Arm common-cause shocks.
+	for si := range cfg.Shocks {
+		t.armShock(si)
+	}
+	return t
+}
+
+// run executes the trial until loss or horizon (0 = run to loss).
+func (t *trial) run(horizon float64) TrialResult {
+	if horizon > 0 {
+		t.eng.RunUntil(horizon)
+	} else {
+		t.eng.Run()
+	}
+	res := TrialResult{Lost: t.lost, Stats: t.stats}
+	if t.lost {
+		res.Time = t.lossTime
+		res.FirstFault = t.first
+		res.FinalFault = t.final
+	} else {
+		res.Time = horizon
+	}
+	return res
+}
+
+// armVisible schedules the next visible fault for replica i if eligible.
+// Visible faults strike healthy replicas and latent-faulty ones (a disk
+// with silent corruption can still crash); repairing replicas are already
+// being restored.
+func (t *trial) armVisible(i int) {
+	r := t.reps[i]
+	r.visibleEv.Cancel()
+	r.visibleEv = nil
+	if r.state == stateRepairing || r.visible.Disabled() {
+		return
+	}
+	delay := r.visible.SampleNext(r.src)
+	if math.IsInf(delay, 1) {
+		return
+	}
+	r.visibleEv = t.eng.ScheduleAfter(delay, func(*des.Engine) {
+		t.onFault(i, faults.Visible, false)
+	})
+}
+
+// armLatent schedules the next latent fault for replica i if healthy.
+func (t *trial) armLatent(i int) {
+	r := t.reps[i]
+	r.latentEv.Cancel()
+	r.latentEv = nil
+	if r.state != stateHealthy || r.latent.Disabled() {
+		return
+	}
+	delay := r.latent.SampleNext(r.src)
+	if math.IsInf(delay, 1) {
+		return
+	}
+	r.latentEv = t.eng.ScheduleAfter(delay, func(*des.Engine) {
+		t.onFault(i, faults.Latent, false)
+	})
+}
+
+// scrubFor returns the audit strategy for replica i.
+func (t *trial) scrubFor(i int) scrub.Strategy {
+	if t.cfg.ScrubPerReplica != nil {
+		return t.cfg.ScrubPerReplica[i]
+	}
+	return t.cfg.Scrub
+}
+
+// armAudit schedules the next audit pass for replica i.
+func (t *trial) armAudit(i int) {
+	if t.lost {
+		return
+	}
+	at, ok := t.scrubFor(i).NextAudit(t.eng.Now(), t.auditSrc)
+	if !ok {
+		return
+	}
+	t.eng.Schedule(at, func(*des.Engine) {
+		t.onAudit(i)
+		t.armAudit(i)
+	})
+}
+
+// armShock schedules the next firing of shock si.
+func (t *trial) armShock(si int) {
+	s := &t.cfg.Shocks[si]
+	delay := s.SampleNext(t.shockSrc)
+	t.eng.ScheduleAfter(delay, func(*des.Engine) {
+		t.onShock(si)
+		if !t.lost {
+			t.armShock(si)
+		}
+	})
+}
+
+// armDetection schedules the discovery of replica i's outstanding latent
+// fault through whichever channel fires first: the audit schedule (in
+// lazy mode; otherwise the recurring audit events handle it) and the
+// user-access channel. Sampling the earliest of the channels at fault
+// time is exact for deterministic-periodic and memoryless strategies.
+func (t *trial) armDetection(i int) {
+	r := t.reps[i]
+	r.detectEv.Cancel()
+	r.detectEv = nil
+	best := math.Inf(1)
+	if t.lazyAudit {
+		if at, ok := t.scrubFor(i).NextAudit(t.eng.Now(), t.auditSrc); ok && at < best {
+			best = at
+		}
+	}
+	if t.cfg.AccessDetect != nil {
+		if at, ok := t.cfg.AccessDetect.NextAudit(t.eng.Now(), t.auditSrc); ok && at < best {
+			best = at
+		}
+	}
+	if math.IsInf(best, 1) {
+		return
+	}
+	r.detectEv = t.eng.Schedule(best, func(*des.Engine) {
+		t.onDetected(i)
+	})
+}
+
+// onFault applies a fault of the given class to replica i. planted marks
+// §6.6 side-effect faults (from audits or buggy repairs) for accounting.
+func (t *trial) onFault(i int, kind faults.Type, planted bool) {
+	if t.lost {
+		return
+	}
+	r := t.reps[i]
+	now := t.eng.Now()
+	switch kind {
+	case faults.Visible:
+		t.stats.VisibleFaults++
+	case faults.Latent:
+		t.stats.LatentFaults++
+	}
+	t.traceEvent(now, i, eventFault, kind, planted)
+
+	switch r.state {
+	case stateHealthy:
+		r.faultKind = kind
+		r.faultAt = now
+		if t.faulty == 0 {
+			// This fault opens a window of vulnerability.
+			t.first = kind
+			if kind == faults.Visible {
+				t.stats.WOVOpenedByVis++
+			} else {
+				t.stats.WOVOpenedByLat++
+			}
+		}
+		// State must change before setFaulty so that the correlation
+		// re-arm inside it treats this replica as faulty (its own
+		// processes run at base rate).
+		if kind == faults.Visible {
+			r.state = stateRepairing
+		} else {
+			r.state = stateLatent
+		}
+		t.setFaulty(i, kind)
+		if t.lost {
+			return
+		}
+		if kind == faults.Visible {
+			t.startRepair(i)
+		} else {
+			t.armDetection(i)
+			// The latent process pauses (one outstanding latent fault
+			// is enough); the visible process keeps running.
+			t.armLatent(i)
+			t.armVisible(i)
+		}
+	case stateLatent:
+		if kind == faults.Visible {
+			// The silent corruption's disk now visibly fails; the
+			// repair that follows will restore everything. The fault
+			// that opened this replica's bad spell keeps its class for
+			// loss accounting.
+			t.stats.Detections++
+			t.traceEvent(now, i, eventDetected, r.faultKind, false)
+			r.state = stateRepairing
+			r.faultKind = faults.Visible
+			t.startRepair(i)
+		}
+		// A second latent fault on an already latent-faulty replica
+		// changes nothing.
+	case stateRepairing:
+		// Already being restored; further faults during repair are
+		// absorbed by the restore. (Repair-planted faults are applied
+		// after completion, not here.)
+	}
+}
+
+// onAudit runs one audit pass on replica i: detect an outstanding latent
+// fault, then possibly plant a side-effect fault (§6.6).
+func (t *trial) onAudit(i int) {
+	if t.lost {
+		return
+	}
+	t.stats.Audits++
+	r := t.reps[i]
+	t.traceEvent(t.eng.Now(), i, eventAudit, faults.Latent, false)
+	if r.state == stateLatent {
+		t.onDetected(i)
+	}
+	// Side effects apply to replicas the audit actually touched; a
+	// replica under repair is not audited.
+	if r.state == stateRepairing {
+		return
+	}
+	if t.cfg.AuditVisibleFaultProb > 0 && t.auditSrc.Bool(t.cfg.AuditVisibleFaultProb) {
+		t.stats.AuditInduced++
+		t.onFault(i, faults.Visible, true)
+		return
+	}
+	if t.cfg.AuditLatentFaultProb > 0 && r.state == stateHealthy && t.auditSrc.Bool(t.cfg.AuditLatentFaultProb) {
+		t.stats.AuditInduced++
+		t.onFault(i, faults.Latent, true)
+	}
+}
+
+// onDetected surfaces replica i's latent fault and starts repair.
+func (t *trial) onDetected(i int) {
+	if t.lost {
+		return
+	}
+	r := t.reps[i]
+	if r.state != stateLatent {
+		return
+	}
+	t.stats.Detections++
+	t.traceEvent(t.eng.Now(), i, eventDetected, faults.Latent, false)
+	r.detectEv.Cancel()
+	r.detectEv = nil
+	r.state = stateRepairing
+	// The visible arrival no longer matters while repairing.
+	r.visibleEv.Cancel()
+	r.visibleEv = nil
+	t.startRepair(i)
+}
+
+// onShock fires common-cause shock si.
+func (t *trial) onShock(si int) {
+	if t.lost {
+		return
+	}
+	s := &t.cfg.Shocks[si]
+	t.stats.ShockEvents++
+	for _, target := range s.Strike(t.shockSrc) {
+		if t.lost {
+			return
+		}
+		t.onFault(target, s.Kind, false)
+	}
+}
+
+// startRepair schedules replica i's repair completion. The caller has
+// already moved it to stateRepairing and accounted the fault.
+func (t *trial) startRepair(i int) {
+	r := t.reps[i]
+	// Fault arrivals pause during repair.
+	r.visibleEv.Cancel()
+	r.visibleEv = nil
+	r.latentEv.Cancel()
+	r.latentEv = nil
+	r.detectEv.Cancel()
+	r.detectEv = nil
+	d := t.cfg.Repair.Duration(r.faultKind == faults.Visible, r.src)
+	r.repairEv = t.eng.ScheduleAfter(d, func(*des.Engine) {
+		t.onRepaired(i)
+	})
+	t.traceEvent(t.eng.Now(), i, eventRepairStart, r.faultKind, false)
+}
+
+// onRepaired completes replica i's repair.
+func (t *trial) onRepaired(i int) {
+	if t.lost {
+		return
+	}
+	r := t.reps[i]
+	r.repairEv = nil
+	t.stats.Repairs++
+	t.traceEvent(t.eng.Now(), i, eventRepaired, r.faultKind, false)
+	r.state = stateHealthy
+	t.setHealthy(i)
+	t.armVisible(i)
+	t.armLatent(i)
+	// §6.6: buggy automation can leave a fresh latent fault behind.
+	if t.cfg.Repair.RepairPlantsFault(r.src) {
+		t.stats.RepairBugs++
+		t.onFault(i, faults.Latent, true)
+	}
+}
+
+// setFaulty transitions replica i into the faulty population and checks
+// for data loss.
+func (t *trial) setFaulty(i int, kind faults.Type) {
+	t.faulty++
+	if t.faulty == t.lossAt {
+		t.lost = true
+		t.lossTime = t.eng.Now()
+		t.final = kind
+		t.traceEvent(t.lossTime, i, eventDataLoss, kind, false)
+		t.eng.Stop()
+		return
+	}
+	t.applyAcceleration()
+}
+
+// setHealthy transitions replica i back into the healthy population.
+func (t *trial) setHealthy(int) {
+	t.faulty--
+	t.applyAcceleration()
+}
+
+// applyAcceleration re-arms the fault processes of non-faulty replicas
+// with the correlation model's current hazard multiplier. Valid because
+// the processes are memoryless: resampling the remaining wait preserves
+// the distribution.
+func (t *trial) applyAcceleration() {
+	accel := t.cfg.Correlation.Acceleration(t.faulty)
+	for i, r := range t.reps {
+		target := 1.0
+		if r.state == stateHealthy {
+			target = accel
+		}
+		if r.visible.Acceleration() != target || r.latent.Acceleration() != target {
+			r.visible.SetAcceleration(target)
+			r.latent.SetAcceleration(target)
+			t.armVisible(i)
+			t.armLatent(i)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Sample is an in-memory collection of observations supporting quantiles
+// and bootstrap resampling. Use Running instead when only moments are
+// needed; Sample retains every value.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns a Sample over a copy of values.
+func NewSample(values []float64) *Sample {
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	return &Sample{values: cp}
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.values = append(s.values, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Values returns the underlying observations in insertion order if the
+// sample has never been sorted, otherwise in ascending order. The slice is
+// shared; callers must not modify it.
+func (s *Sample) Values() []float64 { return s.values }
+
+// Mean returns the sample mean (NaN if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) using linear interpolation
+// between order statistics (Hyndman–Fan type 7, the common default).
+func (s *Sample) Quantile(p float64) (float64, error) {
+	if len(s.values) == 0 {
+		return 0, ErrNoData
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: quantile p=%v outside [0,1]", p)
+	}
+	s.ensureSorted()
+	if len(s.values) == 1 {
+		return s.values[0], nil
+	}
+	h := p * float64(len(s.values)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return s.values[lo], nil
+	}
+	frac := h - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() (float64, error) { return s.Quantile(0.5) }
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval for
+// the mean using resamples drawn from src. It is the distribution-free
+// check on the Student-t interval for the heavily skewed time-to-loss
+// distributions that MTTDL estimation produces.
+func (s *Sample) BootstrapMeanCI(level float64, resamples int, src *rng.Source) (Interval, error) {
+	if len(s.values) < 2 {
+		return Interval{}, ErrNoData
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: %d bootstrap resamples, need >= 10", resamples)
+	}
+	n := len(s.values)
+	means := make([]float64, resamples)
+	for i := range means {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += s.values[src.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	boot := NewSample(means)
+	alpha := 1 - level
+	lo, err := boot.Quantile(alpha / 2)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := boot.Quantile(1 - alpha/2)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Point: s.Mean(), Lo: lo, Hi: hi, Level: level}, nil
+}
+
+// Histogram bins observations over [Lo, Hi) into equal-width buckets, with
+// underflow/overflow tallies. It renders the shape of time-to-loss
+// distributions in reports.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Under     int
+	Over      int
+	total     int
+	logScaled bool
+}
+
+// NewHistogram returns a Histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if !(lo < hi) || n <= 0 {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v,%v) with %d bins", lo, hi, n)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}, nil
+}
+
+// NewLogHistogram returns a Histogram whose n bins are equal-width in
+// log10 space over [lo, hi), lo > 0 — the right shape for MTTDL values
+// spanning orders of magnitude.
+func NewLogHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if lo <= 0 {
+		return nil, fmt.Errorf("stats: log histogram lower bound %v must be > 0", lo)
+	}
+	h, err := NewHistogram(math.Log10(lo), math.Log10(hi), n)
+	if err != nil {
+		return nil, err
+	}
+	h.logScaled = true
+	return h, nil
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	v := x
+	if h.logScaled {
+		if x <= 0 {
+			h.Under++
+			return
+		}
+		v = math.Log10(x)
+	}
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx >= len(h.Counts) { // guard float rounding at the top edge
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations tallied, including under/over.
+func (h *Histogram) Total() int { return h.total }
+
+// BinBounds returns the [lo, hi) bounds of bin i in data space.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	lo = h.Lo + float64(i)*width
+	hi = lo + width
+	if h.logScaled {
+		lo = math.Pow(10, lo)
+		hi = math.Pow(10, hi)
+	}
+	return lo, hi
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestKaplanMeierNoCensoring(t *testing.T) {
+	// With no censoring the KM curve steps through the empirical
+	// survival function and the restricted mean equals the sample mean.
+	obs := []Observation{
+		{Time: 1, Event: true},
+		{Time: 2, Event: true},
+		{Time: 3, Event: true},
+		{Time: 4, Event: true},
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0.5, 1}, {1, 0.75}, {2.5, 0.5}, {3, 0.25}, {4, 0}, {10, 0},
+	}
+	for _, c := range cases {
+		if got := km.Survival(c.t); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("S(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := km.RestrictedMean(100); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("restricted mean = %v, want 2.5 (sample mean)", got)
+	}
+	if m, ok := km.MedianSurvival(); !ok || m != 2 {
+		t.Errorf("median = %v, %v; want 2, true", m, ok)
+	}
+}
+
+func TestKaplanMeierCensoring(t *testing.T) {
+	// Classic worked example: events at 1 and 3, censored at 2 and 4.
+	obs := []Observation{
+		{Time: 1, Event: true},
+		{Time: 2, Event: false},
+		{Time: 3, Event: true},
+		{Time: 4, Event: false},
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S(1) = 3/4. At t=3, risk set = 2, so S(3) = 3/4 * 1/2 = 3/8.
+	if got := km.Survival(1); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("S(1) = %v, want 0.75", got)
+	}
+	if got := km.Survival(3.5); !almostEqual(got, 0.375, 1e-12) {
+		t.Errorf("S(3.5) = %v, want 0.375", got)
+	}
+	// Censoring times do not drop the curve.
+	if got := km.Survival(2.5); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("S(2.5) = %v, want 0.75 (censoring must not drop the curve)", got)
+	}
+	if got := km.LossProbability(3.5); !almostEqual(got, 0.625, 1e-12) {
+		t.Errorf("loss probability = %v, want 0.625", got)
+	}
+}
+
+func TestKaplanMeierAllCensored(t *testing.T) {
+	obs := []Observation{{Time: 5, Event: false}, {Time: 7, Event: false}}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := km.Survival(100); got != 1 {
+		t.Errorf("all-censored survival = %v, want 1", got)
+	}
+	if _, ok := km.MedianSurvival(); ok {
+		t.Error("median should be unavailable with no events")
+	}
+	if got := km.RestrictedMean(10); got != 10 {
+		t.Errorf("restricted mean = %v, want horizon 10", got)
+	}
+}
+
+func TestKaplanMeierErrors(t *testing.T) {
+	if _, err := NewKaplanMeier(nil); err == nil {
+		t.Error("empty observations accepted")
+	}
+	if _, err := NewKaplanMeier([]Observation{{Time: -1, Event: true}}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestKaplanMeierMatchesExponentialTruth(t *testing.T) {
+	// Draw exponential lifetimes with mean 100, censor at horizon 80,
+	// and check S(t) against the true exp(-t/100) curve.
+	src := rng.New(77)
+	exp, _ := rng.NewExponential(100)
+	const horizon = 80.0
+	obs := make([]Observation, 20000)
+	for i := range obs {
+		life := exp.Sample(src)
+		if life <= horizon {
+			obs[i] = Observation{Time: life, Event: true}
+		} else {
+			obs[i] = Observation{Time: horizon, Event: false}
+		}
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{10, 25, 50, 75} {
+		want := math.Exp(-tt / 100)
+		got := km.Survival(tt)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("S(%v) = %v, want %v +- 0.01", tt, got, want)
+		}
+		iv := km.SurvivalCI(tt, 0.95)
+		if !iv.Contains(want) && math.Abs(iv.Point-want) > 3*km.GreenwoodSE(tt) {
+			t.Errorf("true survival %v far outside CI %+v at t=%v", want, iv, tt)
+		}
+	}
+	// Restricted mean over [0, 80] for Exp(100):
+	// integral of exp(-t/100) = 100*(1-exp(-0.8)).
+	want := 100 * (1 - math.Exp(-0.8))
+	if got := km.RestrictedMean(horizon); math.Abs(got-want) > 1 {
+		t.Errorf("restricted mean = %v, want %v +- 1", got, want)
+	}
+}
+
+func TestKaplanMeierTiedTimes(t *testing.T) {
+	obs := []Observation{
+		{Time: 2, Event: true},
+		{Time: 2, Event: true},
+		{Time: 2, Event: false},
+		{Time: 5, Event: true},
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=2: 4 at risk, 2 events -> S = 1/2.
+	if got := km.Survival(2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("S(2) = %v, want 0.5", got)
+	}
+	// At t=5: 1 at risk, 1 event -> S = 0.
+	if got := km.Survival(5); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("S(5) = %v, want 0", got)
+	}
+	if km.N() != 4 || km.MaxTime() != 5 {
+		t.Errorf("N=%d MaxTime=%v, want 4, 5", km.N(), km.MaxTime())
+	}
+}

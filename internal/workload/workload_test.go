@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, a := range map[string]Archive{
+		"photo":         PhotoService(),
+		"institutional": InstitutionalArchive(),
+	} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []Archive{
+		{Objects: 0, ObjectMB: 1, AccessesPerHour: 1},
+		{Objects: 10, ObjectMB: 0, AccessesPerHour: 1},
+		{Objects: 10, ObjectMB: 1, AccessesPerHour: -1},
+		{Objects: 10, ObjectMB: math.NaN(), AccessesPerHour: 1},
+	}
+	for i, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, a)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	a := Archive{Objects: 1000, ObjectMB: 2, AccessesPerHour: 10}
+	if got := a.TotalGB(); got != 2 {
+		t.Errorf("TotalGB = %v, want 2", got)
+	}
+	if got := a.PerObjectAccessRate(); got != 0.01 {
+		t.Errorf("per-object rate = %v, want 0.01", got)
+	}
+	if got := a.MeanHoursBetweenObjectAccesses(); got != 100 {
+		t.Errorf("mean hours between accesses = %v, want 100", got)
+	}
+	if got := a.AccessDetectionCoverage(); got != 0.001 {
+		t.Errorf("coverage = %v, want 0.001", got)
+	}
+}
+
+// §4.1's aggregate-vs-item point: the photo service serves 100k reads an
+// hour, yet an individual photo waits ~1.1 years between reads.
+func TestPhotoServiceAccessGap(t *testing.T) {
+	a := PhotoService()
+	gapYears := a.MeanHoursBetweenObjectAccesses() / 8760
+	if gapYears < 1 || gapYears > 1.3 {
+		t.Errorf("per-photo access gap = %.2f years, want ~1.14", gapYears)
+	}
+}
+
+func TestNoTrafficMeansInfiniteGap(t *testing.T) {
+	a := Archive{Objects: 10, ObjectMB: 1, AccessesPerHour: 0}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("zero traffic should be a valid archive: %v", err)
+	}
+	if !math.IsInf(a.MeanHoursBetweenObjectAccesses(), 1) {
+		t.Error("zero traffic should give infinite access gap")
+	}
+	if _, err := NewAccessProcess(a, rng.New(1)); err == nil {
+		t.Error("access process with zero rate accepted")
+	}
+}
+
+func TestAccessProcessRateAndUniformity(t *testing.T) {
+	a := Archive{Objects: 100, ObjectMB: 1, AccessesPerHour: 50}
+	p, err := NewAccessProcess(a, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	counts := make([]int, 100)
+	var last float64
+	prev := -1.0
+	for i := 0; i < n; i++ {
+		at, obj := p.Next()
+		if at <= prev {
+			t.Fatalf("access times not increasing: %v after %v", at, prev)
+		}
+		if obj < 0 || obj >= 100 {
+			t.Fatalf("object index %d out of range", obj)
+		}
+		counts[obj]++
+		prev = at
+		last = at
+	}
+	if got := n / last; math.Abs(got-50)/50 > 0.02 {
+		t.Errorf("empirical access rate = %v, want 50 within 2%%", got)
+	}
+	want := float64(n) / 100
+	for obj, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("object %d accessed %d times, want %v +- 6 sigma", obj, c, want)
+		}
+	}
+	if p.Now() != last {
+		t.Errorf("Now() = %v, want %v", p.Now(), last)
+	}
+}

@@ -1,0 +1,301 @@
+// Package repro is a reproduction of Baker, Shah, Rosenthal,
+// Roussopoulos, Maniatis, Giuli & Bungale, "A Fresh Look at the
+// Reliability of Long-term Digital Storage" (EuroSys 2006): the analytic
+// MTTDL model for replicated archival storage under visible, latent, and
+// correlated faults, together with the event-driven Monte Carlo simulator
+// that validates it and the experiment harness that regenerates every
+// figure and numeric claim in the paper.
+//
+// This file is the public facade: it re-exports the stable surface of the
+// internal packages. The three layers are:
+//
+//   - The analytic model (Params and friends): closed forms, eqs 1-12.
+//   - The simulator (SimConfig, NewRunner): physical trials of a replica
+//     group to first data loss, with scrubbing, repair, correlation,
+//     common-cause shocks, and §6.6 side effects.
+//   - The experiments (Experiments, ExperimentByID): the paper's
+//     §5.4-§6.6 analyses as runnable artifacts.
+//
+// Quickstart:
+//
+//	p := repro.PaperScrubbed()            // §5.4: mirrored Cheetahs, 3 scrubs/yr
+//	years := repro.Years(p.MTTDL())       // ~5100 (paper's eq-10 view: 6128.7)
+//	loss := p.LossProbability(repro.YearsToHours(50))
+//
+//	cfg, _ := repro.PaperSimConfig(3, 0.1) // same system, physical simulation
+//	r, _ := repro.NewRunner(cfg)
+//	est, _ := r.Estimate(repro.SimOptions{Trials: 1000, Seed: 1})
+package repro
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/costs"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/repair"
+	"repro/internal/replica"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/threat"
+	"repro/internal/workload"
+)
+
+// ---- Analytic model (§5) ----
+
+// Params is the paper's model parameter set: MV, ML, MRV, MRL, MDL, and
+// the correlation factor Alpha. See eqs 1-12.
+type Params = model.Params
+
+// Regime identifies which §5.4 approximation applies to a Params value.
+type Regime = model.Regime
+
+// Lever is a §6 strategy lever for sensitivity analysis.
+type Lever = model.Lever
+
+// Sensitivity reports the MTTDL payoff of improving one lever.
+type Sensitivity = model.Sensitivity
+
+// HoursPerYear converts the model's hour timescale to years (8760).
+const HoursPerYear = model.HoursPerYear
+
+// Years converts hours to years.
+func Years(hours float64) float64 { return model.Years(hours) }
+
+// YearsToHours converts years to hours.
+func YearsToHours(years float64) float64 { return model.YearsToHours(years) }
+
+// FaultProbability is eq 1: P(fault within t) for a memoryless process.
+func FaultProbability(t, mttf float64) float64 { return model.FaultProbability(t, mttf) }
+
+// PaperNoScrub returns the §5.4 no-auditing scenario (MTTDL 32.0 years).
+func PaperNoScrub() Params { return model.PaperNoScrub() }
+
+// PaperScrubbed returns the §5.4 scenario with 3 scrubs/year (eq-10 MTTDL
+// 6128.7 years).
+func PaperScrubbed() Params { return model.PaperScrubbed() }
+
+// PaperCorrelated returns the §5.4 scenario with α = 0.1 (612.9 years).
+func PaperCorrelated() Params { return model.PaperCorrelated() }
+
+// PaperNegligent returns the §5.4 rare-but-unaudited latent scenario
+// (eq-11 MTTDL 159.8 years).
+func PaperNegligent() Params { return model.PaperNegligent() }
+
+// ---- Monte Carlo simulator ----
+
+// SimConfig describes a replicated storage system for simulation.
+type SimConfig = sim.Config
+
+// SimOptions controls a Monte Carlo estimation run.
+type SimOptions = sim.Options
+
+// Estimate is the aggregated outcome of a Monte Carlo run.
+type Estimate = sim.Estimate
+
+// TrialResult is one trial's outcome.
+type TrialResult = sim.TrialResult
+
+// Trace is a fully-evented single trial (Figure 1 material).
+type Trace = sim.Trace
+
+// Runner executes Monte Carlo estimations.
+type Runner = sim.Runner
+
+// NewRunner validates a configuration and returns a Runner.
+func NewRunner(cfg SimConfig) (*Runner, error) { return sim.NewRunner(cfg) }
+
+// TraceTrial runs one fully-traced trial.
+func TraceTrial(cfg SimConfig, seed uint64, horizon float64) (*Trace, error) {
+	return sim.TraceTrial(cfg, seed, horizon)
+}
+
+// PaperSimConfig returns the simulator configuration for the §5.4 worked
+// scenario with the given audits per year (0 = never) and correlation α.
+func PaperSimConfig(scrubsPerYear, alpha float64) (SimConfig, error) {
+	return sim.PaperConfig(scrubsPerYear, alpha)
+}
+
+// ---- Strategies and substrates ----
+
+// ScrubStrategy schedules replica audits (§6.2).
+type ScrubStrategy = scrub.Strategy
+
+// PeriodicScrub returns a periodic audit schedule with n audits/year,
+// staggered by offset hours.
+func PeriodicScrub(perYear, offset float64) (scrub.Periodic, error) {
+	return scrub.NewPeriodic(perYear, offset)
+}
+
+// PoissonScrub returns a random audit schedule averaging n audits/year.
+func PoissonScrub(perYear float64) (scrub.Poisson, error) { return scrub.NewPoisson(perYear) }
+
+// OnAccessDetection returns the §4.1 user-access detection channel.
+func OnAccessDetection(ratePerHour, coverage float64) (scrub.OnAccess, error) {
+	return scrub.NewOnAccess(ratePerHour, coverage)
+}
+
+// NoScrub never audits.
+func NoScrub() scrub.Strategy { return scrub.None{} }
+
+// RepairPolicy describes fault recovery (§6.3).
+type RepairPolicy = repair.Policy
+
+// AutomatedRepair returns a hot-spare policy with fixed repair times and
+// an optional §6.6 bug probability.
+func AutomatedRepair(mrv, mrl, bugProb float64) (RepairPolicy, error) {
+	return repair.Automated(mrv, mrl, bugProb)
+}
+
+// OperatorRepair returns a human-in-the-loop policy: lognormal dispatch
+// delay plus exponential repairs.
+func OperatorRepair(dispatchMean, dispatchCV, mrv, mrl float64) (RepairPolicy, error) {
+	return repair.OperatorAssisted(dispatchMean, dispatchCV, mrv, mrl)
+}
+
+// Correlation models inter-replica fault acceleration (§5.3).
+type Correlation = faults.Correlation
+
+// IndependentReplicas returns the α = 1 correlation model.
+func IndependentReplicas() Correlation { return faults.Independent{} }
+
+// AlphaCorrelation returns the paper's multiplicative-α correlation.
+func AlphaCorrelation(alpha float64) (Correlation, error) {
+	return faults.NewAlphaCorrelation(alpha)
+}
+
+// Shock is a common-cause fault source hitting several replicas at once.
+type Shock = faults.Shock
+
+// FaultClass distinguishes visible from latent faults (§5.1).
+type FaultClass = faults.Type
+
+// The two fault classes.
+const (
+	FaultVisible = faults.Visible
+	FaultLatent  = faults.Latent
+)
+
+// Topology places replicas along the §6.5 independence dimensions.
+type Topology = replica.Topology
+
+// Dimension names one §6.5 independence axis.
+type Dimension = replica.Dimension
+
+// The §6.5 independence dimensions.
+const (
+	Geography      = replica.Geography
+	Administration = replica.Administration
+	HardwareBatch  = replica.HardwareBatch
+	Software       = replica.Software
+	Organization   = replica.Organization
+)
+
+// ShockRates configures per-dimension shared-component failure behaviour
+// for Topology.CompileShocks.
+type ShockRates = replica.ShockRates
+
+// ShockSpec is one dimension's failure behaviour.
+type ShockSpec = replica.ShockSpec
+
+// Colocated places r replicas in one machine room sharing every §6.5
+// dimension — the cautionary baseline.
+func Colocated(r int) Topology { return replica.Colocated(r) }
+
+// GeoDistributed places r replicas in distinct locations but under one
+// administration, procurement, software stack, and organization.
+func GeoDistributed(r int) Topology { return replica.GeoDistributed(r) }
+
+// FullyIndependent places r replicas differing on every §6.5 dimension —
+// the British Library posture.
+func FullyIndependent(r int) Topology { return replica.FullyIndependent(r) }
+
+// ---- Storage economics (§6.1-§6.2, §4.3) ----
+
+// DriveSpec is a disk datasheet (§6.1).
+type DriveSpec = storage.DriveSpec
+
+// Barracuda200 and Cheetah146 are the paper's §6.1 drives.
+func Barracuda200() DriveSpec { return storage.Barracuda200() }
+func Cheetah146() DriveSpec   { return storage.Cheetah146() }
+
+// CostPlan describes a preservation system for costing.
+type CostPlan = costs.Plan
+
+// CostBreakdown is a mission-total cost by category.
+type CostBreakdown = costs.Breakdown
+
+// FrontierPoint pairs a plan's cost with its modeled reliability.
+type FrontierPoint = costs.FrontierPoint
+
+// EvaluatePlan combines a plan with model parameters into a frontier
+// point.
+func EvaluatePlan(label string, p CostPlan, params Params) (FrontierPoint, error) {
+	return costs.Evaluate(label, p, params)
+}
+
+// Archive describes an archival collection's size and traffic (§2).
+type Archive = workload.Archive
+
+// PhotoService returns the §2 consumer-photo-scale archive preset.
+func PhotoService() Archive { return workload.PhotoService() }
+
+// InstitutionalArchive returns a library-scale archive preset.
+func InstitutionalArchive() Archive { return workload.InstitutionalArchive() }
+
+// ---- High-level assessment (internal/core) ----
+
+// System describes one candidate preservation deployment for one-call
+// assessment: drives, placement, audit schedule, economics.
+type System = core.System
+
+// SystemEconomics carries the §4.3 cost streams for a System.
+type SystemEconomics = core.Economics
+
+// Assessment is everything the library can say about a System.
+type Assessment = core.Assessment
+
+// AssessOptions scales the Monte Carlo side of an assessment.
+type AssessOptions = core.AssessOptions
+
+// CompareSystems assesses several systems under the same options.
+func CompareSystems(systems []System, opt AssessOptions) ([]*Assessment, error) {
+	return core.Compare(systems, opt)
+}
+
+// Threat is one §3 threat category.
+type Threat = threat.Threat
+
+// ThreatCatalogue returns the §3 threats in the paper's order.
+func ThreatCatalogue() []Threat { return threat.All() }
+
+// ---- Baselines (§7 comparators) ----
+
+// PattersonRAID is the 1988 RAID MTTDL model.
+type PattersonRAID = baseline.PattersonRAID
+
+// ChenRAID is the 1994 extension with crashes and rebuild bit errors.
+type ChenRAID = baseline.ChenRAID
+
+// MarkovErasure is the m-of-n birth-death model behind the Weatherspoon
+// erasure-vs-replication comparison.
+type MarkovErasure = baseline.MarkovErasure
+
+// ---- Experiments ----
+
+// Experiment is one registered reproduction target (DESIGN.md §3).
+type Experiment = experiments.Experiment
+
+// ExperimentResult is a rendered experiment outcome.
+type ExperimentResult = experiments.Result
+
+// ExperimentConfig scales an experiment run.
+type ExperimentConfig = experiments.RunConfig
+
+// Experiments returns every registered experiment in DESIGN.md order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds one experiment (e.g. "E2").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
