@@ -92,6 +92,35 @@ func BenchmarkE13ErasureVsReplication(b *testing.B) { benchExperiment(b, "E13") 
 // §6.5: hardware-batch aging vs rolling procurement.
 func BenchmarkE14BatchAging(b *testing.B) { benchExperiment(b, "E14") }
 
+// §6.1–§6.2: heterogeneous fleets — mixed consumer+enterprise replicas
+// and a disk+tape tiered archive, through the per-replica spec path.
+func BenchmarkE15MixedFleet(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkEstimateHeterogeneous measures a parallel estimation of a
+// three-tier fleet (consumer disk + enterprise disk + tape) built from
+// named storage specs — the per-replica spec path's unit of work.
+func BenchmarkEstimateHeterogeneous(b *testing.B) {
+	consumer := scaledDiskStorageSpec(repro.Barracuda200())
+	enterprise := scaledDiskStorageSpec(repro.Cheetah146())
+	tape := repro.OfflineStorageSpec(repro.TapeShelf(200, 80, 24, 0.001, 0.001, 15),
+		3*consumer.VisibleMean, 3*consumer.LatentMean, 8760.0/2000)
+	tape.RepairHours = 2.4
+	cfg, err := repro.FleetConfig(consumer, enterprise, tape)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := repro.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Estimate(repro.SimOptions{Trials: 200, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Micro-benchmarks of the core primitives ----
 
 // BenchmarkModelMTTDL measures one closed-form evaluation (clamped eq 7).

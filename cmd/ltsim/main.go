@@ -3,11 +3,21 @@
 // interval), mission loss probability, the empirical Figure-2 double-fault
 // matrix, and the analytic model's prediction for the same system.
 //
-// Examples:
+// The default flags describe a uniform fleet. Repeatable -replica flags
+// instead build a heterogeneous fleet (§6.1–§6.2), one replica per flag,
+// each either a named tier or explicit key=value pairs:
 //
 //	ltsim                                  # the paper's scrubbed mirror
 //	ltsim -scrubs-per-year 0 -trials 5000  # the 32-year no-scrub scenario
 //	ltsim -alpha 0.1 -replicas 3 -horizon 50
+//	ltsim -replica consumer -replica consumer -replica enterprise
+//	ltsim -replica consumer -replica mv=2e6,ml=4e5,scrubs=12,repair=1,label=nas
+//
+// Named tiers: "consumer" and "enterprise" are the §6.1 drives at the
+// -scrubs-per-year audit frequency; "tape" is an offline shelf audited
+// once a year with handling-scale repair times. In -replica mode the
+// uniform-fleet flags -mv, -ml, -mrv, -mrl, -replicas, and -repair-bug
+// are ignored; -alpha, -audit-wear, -trials, -horizon, and -seed apply.
 package main
 
 import (
@@ -15,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/faults"
 	"repro/internal/model"
@@ -22,9 +34,11 @@ import (
 	"repro/internal/report"
 	"repro/internal/scrub"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 func main() {
+	var replicaFlags []string
 	var (
 		mv      = flag.Float64("mv", model.PaperMV, "per-replica mean time to visible fault, hours")
 		ml      = flag.Float64("ml", model.PaperML, "per-replica mean time to latent fault, hours (inf = none)")
@@ -32,20 +46,24 @@ func main() {
 		mrl     = flag.Float64("mrl", model.PaperMRL, "latent repair time, hours")
 		scrubs  = flag.Float64("scrubs-per-year", 3, "periodic audit frequency (0 = never)")
 		alpha   = flag.Float64("alpha", 1, "correlation factor in (0,1]")
-		reps    = flag.Int("replicas", 2, "replica count")
+		reps    = flag.Int("replicas", 2, "replica count (uniform fleet)")
 		trials  = flag.Int("trials", 1000, "Monte Carlo trials")
 		horizon = flag.Float64("horizon", 0, "censoring horizon in years (0 = run every trial to loss)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		bug     = flag.Float64("repair-bug", 0, "probability a repair plants a latent fault (§6.6)")
 		wear    = flag.Float64("audit-wear", 0, "probability an audit pass plants a latent fault (§6.6)")
 	)
+	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
+		replicaFlags = append(replicaFlags, v)
+		return nil
+	})
 	flag.Parse()
 
 	if err := run(config{
 		mv: *mv, ml: *ml, mrv: *mrv, mrl: *mrl,
 		scrubs: *scrubs, alpha: *alpha, replicas: *reps,
 		trials: *trials, horizonYears: *horizon, seed: *seed,
-		bug: *bug, wear: *wear,
+		bug: *bug, wear: *wear, replicaSpecs: replicaFlags,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -59,30 +77,99 @@ type config struct {
 	horizonYears     float64
 	seed             uint64
 	bug, wear        float64
+	replicaSpecs     []string
 }
 
-func run(c config) error {
+// parseReplica resolves one -replica flag value into a storage spec.
+func parseReplica(v string, defaultScrubs float64) (storage.Spec, error) {
+	switch v {
+	case "consumer":
+		return storage.DiskSpec(storage.Barracuda200(), defaultScrubs), nil
+	case "enterprise":
+		return storage.DiskSpec(storage.Cheetah146(), defaultScrubs), nil
+	case "tape":
+		d := storage.Barracuda200()
+		shelf := storage.TapeShelf(200, 80, 24, 0.001, 0.001, 15)
+		// Shelved media dodge in-service wear; audit once a year.
+		return storage.OfflineSpec(shelf, 3*d.MTTFHours(), 3*d.MTTFHours()/model.SchwarzLatentFactor, 1), nil
+	}
+	s := storage.Spec{Label: "custom", LatentMean: math.Inf(1)}
+	for _, kv := range strings.Split(v, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return storage.Spec{}, fmt.Errorf("replica %q: %q is not key=value (or a named tier: consumer, enterprise, tape)", v, kv)
+		}
+		if key == "label" {
+			s.Label = val
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return storage.Spec{}, fmt.Errorf("replica %q: %s: %v", v, key, err)
+		}
+		switch key {
+		case "mv":
+			s.VisibleMean = f
+		case "ml":
+			s.LatentMean = f
+		case "scrubs":
+			s.ScrubsPerYear = f
+		case "offset":
+			s.ScrubOffset = f
+		case "repair":
+			s.RepairHours = f
+		case "access-rate":
+			s.AccessRatePerHour = f
+		case "access-coverage":
+			s.AccessCoverage = f
+		default:
+			return storage.Spec{}, fmt.Errorf("replica %q: unknown key %q", v, key)
+		}
+	}
+	return s, nil
+}
+
+// buildConfig assembles the simulator configuration from the flags:
+// heterogeneous when -replica flags are present, uniform otherwise.
+func buildConfig(c config) (sim.Config, error) {
+	var corr faults.Correlation = faults.Independent{}
+	if c.alpha < 1 {
+		a, err := faults.NewAlphaCorrelation(c.alpha)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		corr = a
+	}
+	if len(c.replicaSpecs) > 0 {
+		specs := make([]storage.Spec, len(c.replicaSpecs))
+		for i, v := range c.replicaSpecs {
+			s, err := parseReplica(v, c.scrubs)
+			if err != nil {
+				return sim.Config{}, err
+			}
+			specs[i] = s
+		}
+		cfg, err := storage.FleetConfig(specs...)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Correlation = corr
+		cfg.AuditLatentFaultProb = c.wear
+		return cfg, nil
+	}
 	rep, err := repair.Automated(c.mrv, c.mrl, c.bug)
 	if err != nil {
-		return err
+		return sim.Config{}, err
 	}
 	var strat scrub.Strategy = scrub.None{}
 	if c.scrubs > 0 {
 		p, err := scrub.NewPeriodic(c.scrubs, 0)
 		if err != nil {
-			return err
+			return sim.Config{}, err
 		}
 		strat = p
 	}
-	var corr faults.Correlation = faults.Independent{}
-	if c.alpha < 1 {
-		a, err := faults.NewAlphaCorrelation(c.alpha)
-		if err != nil {
-			return err
-		}
-		corr = a
-	}
-	cfg := sim.Config{
+	return sim.Config{
 		Replicas:             c.replicas,
 		VisibleMean:          c.mv,
 		LatentMean:           c.ml,
@@ -90,6 +177,13 @@ func run(c config) error {
 		Repair:               rep,
 		Correlation:          corr,
 		AuditLatentFaultProb: c.wear,
+	}, nil
+}
+
+func run(c config) error {
+	cfg, err := buildConfig(c)
+	if err != nil {
+		return err
 	}
 	runner, err := sim.NewRunner(cfg)
 	if err != nil {
@@ -105,6 +199,17 @@ func run(c config) error {
 	}
 
 	out := os.Stdout
+	if len(cfg.Specs) > 0 {
+		fleet := report.NewTable("Heterogeneous fleet",
+			"replica", "label", "MV (h)", "ML (h)", "audit", "repair MRV (h)")
+		for i, s := range cfg.ReplicaSpecs() {
+			fleet.MustAddRow(i, s.Label, s.VisibleMean, s.LatentMean, s.Scrub.Name(), s.Repair.MeanVisible())
+		}
+		if err := fleet.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
 	tbl := report.NewTable(fmt.Sprintf("Monte Carlo estimate (%d trials, %d censored)", est.Trials, est.Censored),
 		"quantity", "point", "95% CI low", "95% CI high")
 	tbl.MustAddRow("MTTDL (years)",
@@ -119,10 +224,13 @@ func run(c config) error {
 	fmt.Fprintln(out)
 
 	params := cfg.ModelParams()
-	cmp := report.NewTable("Analytic model for the same system",
-		"quantity", "value")
+	header := "Analytic model for the same system"
+	if len(cfg.Specs) > 0 {
+		header += " (replica 0's spec)"
+	}
+	cmp := report.NewTable(header, "quantity", "value")
 	cmp.MustAddRow("clamped eq 7 MTTDL (years)", model.Years(params.MTTDL()))
-	cmp.MustAddRow("eq 7 / replica-count convention (years)", model.Years(params.MTTDL()/float64(c.replicas)))
+	cmp.MustAddRow("eq 7 / replica-count convention (years)", model.Years(params.MTTDL()/float64(cfg.NumReplicas())))
 	regimeVal, regime := params.Approximation()
 	cmp.MustAddRow("regime", regime.String())
 	cmp.MustAddRow("regime approximation (years)", model.Years(regimeVal))

@@ -11,6 +11,25 @@
 // shared-component channel). The trial ends when every replica is
 // simultaneously faulty — the generalization of the paper's double-fault
 // data-loss event — or when the horizon is reached (censored).
+//
+// # Heterogeneous fleets and the Config → ReplicaSpec migration
+//
+// The §6.1–§6.2 arguments rest on mixing dissimilar media: consumer next
+// to enterprise drives, online disk next to offline tape. Config supports
+// this through Specs, a slice of per-replica ReplicaSpec values giving
+// each copy its own fault means, audit schedule, access-detection
+// channel, repair policy, and site/tier label.
+//
+// The scalar Config fields (VisibleMean, LatentMean, Scrub, AccessDetect,
+// Repair) remain as the uniform shorthand: a Config with only scalars set
+// behaves exactly as before — Validate expands it into identical specs,
+// and the same seed reproduces byte-identical estimates. Within a spec, a
+// zero/nil field inherits the corresponding scalar, so partial overrides
+// compose with fleet-wide defaults.
+//
+// ScrubPerReplica is deprecated: it predates Specs and survives only as a
+// shorthand that the expansion folds into the per-replica Scrub fields.
+// New code should set Specs[i].Scrub instead.
 package sim
 
 import (
@@ -27,16 +46,76 @@ import (
 // ErrInvalidConfig reports a simulator configuration outside its domain.
 var ErrInvalidConfig = errors.New("sim: invalid config")
 
+// ReplicaSpec describes one replica of a (possibly heterogeneous) fleet:
+// its fault behaviour, detection channels, repair policy, and a label
+// naming the site or storage tier it models. Zero/nil fields inherit the
+// corresponding Config scalar, so a spec can override just the dimensions
+// on which a replica differs from the fleet default.
+type ReplicaSpec struct {
+	// Label names the site or storage tier ("consumer-disk",
+	// "tape-shelf", "site-B"). Informational: reports and traces use it;
+	// the dynamics do not.
+	Label string
+	// VisibleMean is this replica's mean time to a visible fault in
+	// hours (+Inf disables the channel; 0 inherits Config.VisibleMean).
+	VisibleMean float64
+	// LatentMean is this replica's mean time to a latent fault in hours
+	// (+Inf disables the channel; 0 inherits Config.LatentMean).
+	LatentMean float64
+	// Scrub schedules this replica's proactive audits (nil inherits
+	// Config.Scrub).
+	Scrub scrub.Strategy
+	// AccessDetect is this replica's §4.1 user-access detection channel
+	// (nil inherits Config.AccessDetect, which may itself be nil = none).
+	AccessDetect scrub.Strategy
+	// Repair is this replica's recovery policy. The zero Policy (no
+	// samplers set) inherits Config.Repair.
+	Repair repair.Policy
+}
+
+// inheritsRepair reports whether the spec's Repair field is the zero
+// Policy placeholder that inherits the Config scalar.
+func (s ReplicaSpec) inheritsRepair() bool {
+	return s.Repair.Visible == nil && s.Repair.Latent == nil
+}
+
+// validate checks a fully-resolved spec (after scalar inheritance).
+func (s ReplicaSpec) validate(i int) error {
+	for name, v := range map[string]float64{
+		"visible mean": s.VisibleMean,
+		"latent mean":  s.LatentMean,
+	} {
+		if math.IsNaN(v) || v <= 0 {
+			return fmt.Errorf("%w: replica %d %s %v must be positive (use +Inf to disable)", ErrInvalidConfig, i, name, v)
+		}
+	}
+	if s.Scrub == nil {
+		return fmt.Errorf("%w: replica %d has no scrub strategy (use scrub.None{})", ErrInvalidConfig, i)
+	}
+	if err := s.Repair.Validate(); err != nil {
+		return fmt.Errorf("%w: replica %d: %v", ErrInvalidConfig, i, err)
+	}
+	return nil
+}
+
 // Config describes one replicated-storage system.
 type Config struct {
 	// Replicas is the number of copies r (>= 1). For an erasure-coded
-	// object it is the number of fragments n.
+	// object it is the number of fragments n. May be left 0 when Specs
+	// is non-empty, in which case len(Specs) is the replica count.
 	Replicas int
 	// MinIntact is the number of intact replicas required to recover the
 	// data: 1 for plain replication (any surviving copy suffices, the
 	// paper's model), m for an m-of-n erasure code (§7, the
 	// Weatherspoon/OceanStore design point). 0 defaults to 1.
 	MinIntact int
+	// Specs, if non-empty, gives each replica its own fault means, audit
+	// schedule, detection channel, repair policy, and tier label — the
+	// §6.1–§6.2 heterogeneous-fleet configuration. Must have exactly
+	// Replicas entries (or leave Replicas 0 to derive the count). Zero
+	// and nil spec fields inherit the scalar shorthand below. When Specs
+	// is empty, the scalars describe every replica uniformly.
+	Specs []ReplicaSpec
 	// VisibleMean is the per-replica mean time to a visible fault (the
 	// model's MV), in hours. +Inf disables the channel.
 	VisibleMean float64
@@ -50,6 +129,9 @@ type Config struct {
 	// ScrubPerReplica, if non-nil, overrides Scrub with one strategy per
 	// replica — e.g. staggered periodic schedules so replicas are not
 	// audited in lockstep. Must have exactly Replicas entries.
+	//
+	// Deprecated: set Specs[i].Scrub instead; the expansion folds this
+	// field into the spec path. Setting both is an error.
 	ScrubPerReplica []scrub.Strategy
 	// AccessDetect, if non-nil, is the §4.1 user-access detection
 	// channel: an additional, usually very slow, detector for latent
@@ -72,38 +154,94 @@ type Config struct {
 	AuditVisibleFaultProb float64
 }
 
-// Validate reports whether the configuration is well-formed.
-func (c Config) Validate() error {
-	if c.Replicas < 1 {
-		return fmt.Errorf("%w: replicas %d must be >= 1", ErrInvalidConfig, c.Replicas)
+// NumReplicas returns the effective replica count: len(Specs) when specs
+// are given, else the Replicas scalar.
+func (c Config) NumReplicas() int {
+	if len(c.Specs) > 0 {
+		return len(c.Specs)
 	}
-	if c.MinIntact < 0 || c.MinIntact > c.Replicas {
-		return fmt.Errorf("%w: min intact %d must be in [0, %d]", ErrInvalidConfig, c.MinIntact, c.Replicas)
+	return c.Replicas
+}
+
+// resolveSpec returns replica i's fully-resolved spec: the explicit
+// Specs[i] entry (when present) with zero/nil fields filled from the
+// uniform scalar shorthand and the deprecated ScrubPerReplica slice.
+func (c Config) resolveSpec(i int) ReplicaSpec {
+	var s ReplicaSpec
+	if i < len(c.Specs) {
+		s = c.Specs[i]
 	}
-	for name, v := range map[string]float64{
-		"visible mean": c.VisibleMean,
-		"latent mean":  c.LatentMean,
-	} {
-		if math.IsNaN(v) || v <= 0 {
-			return fmt.Errorf("%w: %s %v must be positive (use +Inf to disable)", ErrInvalidConfig, name, v)
+	if s.VisibleMean == 0 {
+		s.VisibleMean = c.VisibleMean
+	}
+	if s.LatentMean == 0 {
+		s.LatentMean = c.LatentMean
+	}
+	if s.Scrub == nil {
+		s.Scrub = c.Scrub
+		if len(c.Specs) == 0 && i < len(c.ScrubPerReplica) {
+			s.Scrub = c.ScrubPerReplica[i]
 		}
 	}
-	if math.IsInf(c.VisibleMean, 1) && math.IsInf(c.LatentMean, 1) && len(c.Shocks) == 0 {
-		return fmt.Errorf("%w: no fault channel configured", ErrInvalidConfig)
+	if s.AccessDetect == nil {
+		s.AccessDetect = c.AccessDetect
 	}
-	if c.Scrub == nil {
-		return fmt.Errorf("%w: nil scrub strategy (use scrub.None{})", ErrInvalidConfig)
+	if s.inheritsRepair() {
+		s.Repair = c.Repair
 	}
-	if c.ScrubPerReplica != nil && len(c.ScrubPerReplica) != c.Replicas {
-		return fmt.Errorf("%w: %d per-replica scrub strategies for %d replicas", ErrInvalidConfig, len(c.ScrubPerReplica), c.Replicas)
+	return s
+}
+
+// ReplicaSpecs expands the configuration into one fully-resolved spec
+// per replica. For a uniform Config every entry is identical; for a
+// heterogeneous one each entry reflects its Specs override. The trial
+// engine consumes this expansion, so uniform shorthand and explicit
+// identical specs are byte-for-byte equivalent under the same seed.
+func (c Config) ReplicaSpecs() []ReplicaSpec {
+	out := make([]ReplicaSpec, c.NumReplicas())
+	for i := range out {
+		out[i] = c.resolveSpec(i)
+	}
+	return out
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	n := c.NumReplicas()
+	if n < 1 {
+		return fmt.Errorf("%w: replicas %d must be >= 1", ErrInvalidConfig, n)
+	}
+	if len(c.Specs) > 0 {
+		if c.Replicas != 0 && c.Replicas != len(c.Specs) {
+			return fmt.Errorf("%w: %d specs for %d replicas", ErrInvalidConfig, len(c.Specs), c.Replicas)
+		}
+		if c.ScrubPerReplica != nil {
+			return fmt.Errorf("%w: Specs and deprecated ScrubPerReplica are mutually exclusive", ErrInvalidConfig)
+		}
+	}
+	if c.MinIntact < 0 || c.MinIntact > n {
+		return fmt.Errorf("%w: min intact %d must be in [0, %d]", ErrInvalidConfig, c.MinIntact, n)
+	}
+	if c.ScrubPerReplica != nil && len(c.ScrubPerReplica) != n {
+		return fmt.Errorf("%w: %d per-replica scrub strategies for %d replicas", ErrInvalidConfig, len(c.ScrubPerReplica), n)
 	}
 	for i, s := range c.ScrubPerReplica {
 		if s == nil {
 			return fmt.Errorf("%w: nil per-replica scrub strategy at index %d", ErrInvalidConfig, i)
 		}
 	}
-	if err := c.Repair.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	anyChannel := len(c.Shocks) > 0
+	for i := 0; i < n; i++ {
+		s := c.resolveSpec(i)
+		if err := s.validate(i); err != nil {
+			return err
+		}
+		if !math.IsInf(s.VisibleMean, 1) || !math.IsInf(s.LatentMean, 1) {
+			anyChannel = true
+		}
+	}
+	if !anyChannel {
+		return fmt.Errorf("%w: no fault channel configured", ErrInvalidConfig)
 	}
 	if c.Correlation == nil {
 		return fmt.Errorf("%w: nil correlation model (use faults.Independent{})", ErrInvalidConfig)
@@ -113,8 +251,8 @@ func (c Config) Validate() error {
 			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 		}
 		for _, target := range s.Targets {
-			if target >= c.Replicas {
-				return fmt.Errorf("%w: shock %q targets replica %d of %d", ErrInvalidConfig, s.Name, target, c.Replicas)
+			if target >= n {
+				return fmt.Errorf("%w: shock %q targets replica %d of %d", ErrInvalidConfig, s.Name, target, n)
 			}
 		}
 	}
@@ -132,8 +270,11 @@ func (c Config) Validate() error {
 // ModelParams maps the configuration onto the analytic model's
 // parameters for closed-form comparison. Shock channels fold into the
 // per-replica fault rates (each replica sees its marginal shock rate);
-// detection channels combine as competing processes.
+// detection channels combine as competing processes. Heterogeneous
+// fleets use replica 0's spec — topology comparisons keep marginals
+// equal by design, and the closed forms assume a uniform fleet anyway.
 func (c Config) ModelParams() model.Params {
+	spec := c.resolveSpec(0)
 	combine := func(mean, extraRate float64) float64 {
 		rate := extraRate
 		if !math.IsInf(mean, 1) {
@@ -161,16 +302,16 @@ func (c Config) ModelParams() model.Params {
 			break
 		}
 	}
-	detect := c.Scrub.MeanDetectionLag()
-	if c.AccessDetect != nil {
-		parts := scrub.Combined{Parts: []scrub.Strategy{c.Scrub, c.AccessDetect}}
+	detect := spec.Scrub.MeanDetectionLag()
+	if spec.AccessDetect != nil {
+		parts := scrub.Combined{Parts: []scrub.Strategy{spec.Scrub, spec.AccessDetect}}
 		detect = parts.MeanDetectionLag()
 	}
 	return model.Params{
-		MV:    combine(c.VisibleMean, visShockRate),
-		ML:    combine(c.LatentMean, latShockRate),
-		MRV:   c.Repair.MeanVisible(),
-		MRL:   c.Repair.MeanLatent(),
+		MV:    combine(spec.VisibleMean, visShockRate),
+		ML:    combine(spec.LatentMean, latShockRate),
+		MRV:   spec.Repair.MeanVisible(),
+		MRL:   spec.Repair.MeanLatent(),
 		MDL:   detect,
 		Alpha: c.Correlation.Alpha(),
 	}

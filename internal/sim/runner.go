@@ -24,7 +24,8 @@ type Options struct {
 	Seed uint64
 	// Parallel is the worker count; 0 means GOMAXPROCS.
 	Parallel int
-	// Level is the confidence level for intervals (default 0.95).
+	// Level is the confidence level for intervals, in (0,1); 0 defaults
+	// to 0.95. Estimate rejects any other out-of-range value.
 	Level float64
 }
 
@@ -87,6 +88,9 @@ type Estimate struct {
 // Runner executes Monte Carlo estimations of a configuration.
 type Runner struct {
 	cfg Config
+	// specs caches cfg.ReplicaSpecs() so the per-trial hot path skips
+	// the expansion.
+	specs []ReplicaSpec
 }
 
 // NewRunner validates the configuration and returns a Runner.
@@ -94,7 +98,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg}, nil
+	return &Runner{cfg: cfg, specs: cfg.ReplicaSpecs()}, nil
 }
 
 // Config returns the runner's configuration.
@@ -104,7 +108,7 @@ func (r *Runner) Config() Config { return r.cfg }
 // and returns its result. Exposed for replaying individual trials.
 func (r *Runner) RunTrial(seed, index uint64, horizon float64) TrialResult {
 	src := rng.New(seed).Derive(index + 0x517cc1b727220a95)
-	t := newTrial(&r.cfg, src, nil)
+	t := newTrial(&r.cfg, r.specs, src, nil)
 	return t.run(horizon)
 }
 
@@ -116,6 +120,9 @@ func (r *Runner) Estimate(opt Options) (Estimate, error) {
 	}
 	if opt.Horizon < 0 || math.IsNaN(opt.Horizon) {
 		return Estimate{}, fmt.Errorf("%w: horizon %v must be >= 0", ErrInvalidConfig, opt.Horizon)
+	}
+	if math.IsNaN(opt.Level) || opt.Level <= 0 || opt.Level >= 1 {
+		return Estimate{}, fmt.Errorf("%w: confidence level %v must be in (0,1)", ErrInvalidConfig, opt.Level)
 	}
 
 	results := make([]TrialResult, opt.Trials)

@@ -84,7 +84,7 @@ func TraceTrial(cfg Config, seed uint64, horizon float64) (*Trace, error) {
 		return nil, err
 	}
 	tr := &Trace{}
-	t := newTrial(&cfg, rng.New(seed), tr)
+	t := newTrial(&cfg, cfg.ReplicaSpecs(), rng.New(seed), tr)
 	tr.Result = t.run(horizon)
 	return tr, nil
 }

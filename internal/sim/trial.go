@@ -90,7 +90,10 @@ type replica struct {
 
 // trial is one running simulation.
 type trial struct {
-	cfg      *Config
+	cfg *Config
+	// specs is the per-replica expansion of cfg: each replica draws its
+	// fault, audit, detection, and repair behaviour from its own entry.
+	specs    []ReplicaSpec
 	eng      *des.Engine
 	reps     []*replica
 	auditSrc *rng.Source
@@ -121,12 +124,15 @@ type trial struct {
 }
 
 // newTrial builds the event graph for one trial. src must be a
-// trial-specific stream. trace may be nil.
-func newTrial(cfg *Config, src *rng.Source, trace *Trace) *trial {
+// trial-specific stream. trace may be nil. specs must be
+// cfg.ReplicaSpecs() — precomputed by the caller so estimation runs
+// expand the config once, not once per trial.
+func newTrial(cfg *Config, specs []ReplicaSpec, src *rng.Source, trace *Trace) *trial {
 	t := &trial{
 		cfg:       cfg,
+		specs:     specs,
 		eng:       &des.Engine{},
-		reps:      make([]*replica, cfg.Replicas),
+		reps:      make([]*replica, len(specs)),
 		auditSrc:  src.DeriveString("audit"),
 		shockSrc:  src.DeriveString("shock"),
 		trace:     trace,
@@ -136,14 +142,14 @@ func newTrial(cfg *Config, src *rng.Source, trace *Trace) *trial {
 	if minIntact < 1 {
 		minIntact = 1
 	}
-	t.lossAt = cfg.Replicas - minIntact + 1
+	t.lossAt = len(specs) - minIntact + 1
 	for i := range t.reps {
 		rsrc := src.Derive(uint64(i) + 1)
-		vis, err := faults.NewProcess(cfg.VisibleMean)
+		vis, err := faults.NewProcess(specs[i].VisibleMean)
 		if err != nil {
 			panic("sim: config validated but visible process rejected: " + err.Error())
 		}
-		lat, err := faults.NewProcess(cfg.LatentMean)
+		lat, err := faults.NewProcess(specs[i].LatentMean)
 		if err != nil {
 			panic("sim: config validated but latent process rejected: " + err.Error())
 		}
@@ -221,10 +227,7 @@ func (t *trial) armLatent(i int) {
 
 // scrubFor returns the audit strategy for replica i.
 func (t *trial) scrubFor(i int) scrub.Strategy {
-	if t.cfg.ScrubPerReplica != nil {
-		return t.cfg.ScrubPerReplica[i]
-	}
-	return t.cfg.Scrub
+	return t.specs[i].Scrub
 }
 
 // armAudit schedules the next audit pass for replica i.
@@ -269,8 +272,8 @@ func (t *trial) armDetection(i int) {
 			best = at
 		}
 	}
-	if t.cfg.AccessDetect != nil {
-		if at, ok := t.cfg.AccessDetect.NextAudit(t.eng.Now(), t.auditSrc); ok && at < best {
+	if ad := t.specs[i].AccessDetect; ad != nil {
+		if at, ok := ad.NextAudit(t.eng.Now(), t.auditSrc); ok && at < best {
 			best = at
 		}
 	}
@@ -427,7 +430,7 @@ func (t *trial) startRepair(i int) {
 	r.latentEv = nil
 	r.detectEv.Cancel()
 	r.detectEv = nil
-	d := t.cfg.Repair.Duration(r.faultKind == faults.Visible, r.src)
+	d := t.specs[i].Repair.Duration(r.faultKind == faults.Visible, r.src)
 	r.repairEv = t.eng.ScheduleAfter(d, func(*des.Engine) {
 		t.onRepaired(i)
 	})
@@ -448,7 +451,7 @@ func (t *trial) onRepaired(i int) {
 	t.armVisible(i)
 	t.armLatent(i)
 	// §6.6: buggy automation can leave a fresh latent fault behind.
-	if t.cfg.Repair.RepairPlantsFault(r.src) {
+	if t.specs[i].Repair.RepairPlantsFault(r.src) {
 		t.stats.RepairBugs++
 		t.onFault(i, faults.Latent, true)
 	}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestDiskSpecDerivation(t *testing.T) {
+	d := Barracuda200()
+	s := DiskSpec(d, 12)
+	if s.Label != "consumer-disk" {
+		t.Errorf("label %q, want consumer-disk", s.Label)
+	}
+	if s.VisibleMean != d.MTTFHours() {
+		t.Errorf("visible mean %v, want datasheet MTTF %v", s.VisibleMean, d.MTTFHours())
+	}
+	if want := d.MTTFHours() / model.SchwarzLatentFactor; s.LatentMean != want {
+		t.Errorf("latent mean %v, want MTTF/Schwarz %v", s.LatentMean, want)
+	}
+	if s.RepairHours != d.FullScanHours() {
+		t.Errorf("repair hours %v, want full-scan %v", s.RepairHours, d.FullScanHours())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	good := DiskSpec(Cheetah146(), 4)
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero visible mean", func(s *Spec) { s.VisibleMean = 0 }},
+		{"NaN latent mean", func(s *Spec) { s.LatentMean = math.NaN() }},
+		{"zero repair", func(s *Spec) { s.RepairHours = 0 }},
+		{"infinite repair", func(s *Spec) { s.RepairHours = math.Inf(1) }},
+		{"negative scrubs", func(s *Spec) { s.ScrubsPerYear = -1 }},
+		{"NaN scrub offset", func(s *Spec) { s.ScrubOffset = math.NaN() }},
+		{"infinite scrub offset", func(s *Spec) { s.ScrubOffset = math.Inf(1) }},
+		{"access rate without coverage", func(s *Spec) { s.AccessRatePerHour = 0.5 }},
+		{"access coverage without rate", func(s *Spec) { s.AccessCoverage = 0.1 }},
+		{"negative access rate", func(s *Spec) { s.AccessRatePerHour = -1; s.AccessCoverage = 0.1 }},
+		{"access coverage above 1", func(s *Spec) { s.AccessRatePerHour = 0.5; s.AccessCoverage = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+			if _, err := s.ReplicaSpec(); err == nil {
+				t.Errorf("ReplicaSpec accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestReplicaSpecBridge(t *testing.T) {
+	s := DiskSpec(Barracuda200(), 12)
+	s.ScrubOffset = 100
+	s.AccessRatePerHour = 0.5
+	s.AccessCoverage = 0.1
+	rs, err := s.ReplicaSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Label != s.Label || rs.VisibleMean != s.VisibleMean || rs.LatentMean != s.LatentMean {
+		t.Errorf("bridge lost fields: %+v from %+v", rs, s)
+	}
+	if rs.Scrub == nil || math.Abs(rs.Scrub.MeanDetectionLag()-8760.0/12/2) > 1e-9 {
+		t.Errorf("scrub lag %v, want half of monthly interval", rs.Scrub.MeanDetectionLag())
+	}
+	if rs.AccessDetect == nil {
+		t.Error("access channel dropped")
+	}
+	if rs.Repair.MeanVisible() != s.RepairHours || rs.Repair.MeanLatent() != s.RepairHours {
+		t.Errorf("repair means %v/%v, want %v", rs.Repair.MeanVisible(), rs.Repair.MeanLatent(), s.RepairHours)
+	}
+
+	// Never-audited, no-access spec bridges to scrub.None and nil detect.
+	bare := OfflineSpec(TapeShelf(200, 80, 24, 0.001, 0.001, 15), 1e6, 2e5, 0)
+	brs, err := bare.ReplicaSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(brs.Scrub.MeanDetectionLag(), 1) {
+		t.Errorf("unaudited spec got scrub %v, want none", brs.Scrub.Name())
+	}
+	if brs.AccessDetect != nil {
+		t.Error("unaudited spec grew an access channel")
+	}
+}
+
+func TestFleetConfigEndToEnd(t *testing.T) {
+	if _, err := FleetConfig(); err == nil {
+		t.Error("FleetConfig accepted an empty fleet")
+	}
+	consumer := DiskSpec(Barracuda200(), 12)
+	enterprise := DiskSpec(Cheetah146(), 12)
+	tape := OfflineSpec(TapeShelf(200, 80, 24, 0.001, 0.001, 15), 2e6, 4e5, 1)
+	cfg, err := FleetConfig(consumer, enterprise, tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumReplicas() != 3 {
+		t.Errorf("fleet has %d replicas, want 3", cfg.NumReplicas())
+	}
+	labels := []string{"consumer-disk", "enterprise-disk", "offline tape shelf"}
+	for i, rs := range cfg.ReplicaSpecs() {
+		if rs.Label != labels[i] {
+			t.Errorf("replica %d label %q, want %q", i, rs.Label, labels[i])
+		}
+	}
+	// The fleet must run: a short censored estimate through the runner.
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.Estimate(sim.Options{Trials: 50, Seed: 1, Horizon: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials != 50 {
+		t.Errorf("ran %d trials, want 50", est.Trials)
+	}
+}

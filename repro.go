@@ -25,6 +25,21 @@
 //	cfg, _ := repro.PaperSimConfig(3, 0.1) // same system, physical simulation
 //	r, _ := repro.NewRunner(cfg)
 //	est, _ := r.Estimate(repro.SimOptions{Trials: 1000, Seed: 1})
+//
+// Heterogeneous fleets (§6.1–§6.2): SimConfig.Specs gives each replica
+// its own fault means, audit schedule, detection channel, repair policy,
+// and tier label; FleetConfig builds such a config from named storage
+// specs. The scalar SimConfig fields remain the uniform shorthand — a
+// scalar-only config expands into identical per-replica specs and stays
+// byte-identical to its pre-Specs behavior under the same seed. The old
+// ScrubPerReplica field is deprecated in favor of Specs[i].Scrub.
+//
+//	fleet, _ := repro.FleetConfig(        // consumer + enterprise + tape
+//		repro.DiskStorageSpec(repro.Barracuda200(), 12),
+//		repro.DiskStorageSpec(repro.Cheetah146(), 12),
+//		repro.OfflineStorageSpec(tapeShelf, 2e6, 4e5, 1),
+//	)
+//	r, _ = repro.NewRunner(fleet)
 package repro
 
 import (
@@ -88,6 +103,11 @@ func PaperNegligent() Params { return model.PaperNegligent() }
 
 // SimConfig describes a replicated storage system for simulation.
 type SimConfig = sim.Config
+
+// ReplicaSpec describes one replica of a heterogeneous fleet: its own
+// fault means, audit schedule, detection channel, repair policy, and
+// site/tier label. Zero/nil fields inherit the SimConfig scalars.
+type ReplicaSpec = sim.ReplicaSpec
 
 // SimOptions controls a Monte Carlo estimation run.
 type SimOptions = sim.Options
@@ -220,6 +240,36 @@ type DriveSpec = storage.DriveSpec
 // Barracuda200 and Cheetah146 are the paper's §6.1 drives.
 func Barracuda200() DriveSpec { return storage.Barracuda200() }
 func Cheetah146() DriveSpec   { return storage.Cheetah146() }
+
+// Media describes one replica's storage medium for audit and repair
+// economics (§6.2–§6.4).
+type Media = storage.Media
+
+// TapeShelf returns an offline tape medium with §6.2's cost structure.
+func TapeShelf(capacityGB, readMBps, retrieveHours, handlingProb, wearProb, costPerCycle float64) Media {
+	return storage.TapeShelf(capacityGB, readMBps, retrieveHours, handlingProb, wearProb, costPerCycle)
+}
+
+// StorageSpec names one replica's storage substrate (drive or medium
+// plus audit/repair numbers), ready to bridge into a ReplicaSpec.
+type StorageSpec = storage.Spec
+
+// DiskStorageSpec derives a StorageSpec from a §6.1 drive datasheet.
+func DiskStorageSpec(d DriveSpec, scrubsPerYear float64) StorageSpec {
+	return storage.DiskSpec(d, scrubsPerYear)
+}
+
+// OfflineStorageSpec derives a StorageSpec from an offline medium; the
+// caller supplies the fault means the datasheet cannot predict.
+func OfflineStorageSpec(m Media, visibleMean, latentMean, auditsPerYear float64) StorageSpec {
+	return storage.OfflineSpec(m, visibleMean, latentMean, auditsPerYear)
+}
+
+// FleetConfig assembles a heterogeneous-fleet SimConfig from named
+// storage specs: one replica per spec, independent replicas by default.
+func FleetConfig(specs ...StorageSpec) (SimConfig, error) {
+	return storage.FleetConfig(specs...)
+}
 
 // CostPlan describes a preservation system for costing.
 type CostPlan = costs.Plan

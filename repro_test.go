@@ -133,8 +133,8 @@ func TestArchivePresets(t *testing.T) {
 
 func TestExperimentRegistryViaFacade(t *testing.T) {
 	all := repro.Experiments()
-	if len(all) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(all))
 	}
 	e, ok := repro.ExperimentByID("E1")
 	if !ok {
@@ -146,6 +146,51 @@ func TestExperimentRegistryViaFacade(t *testing.T) {
 	}
 	if len(res.Tables) == 0 || len(res.Notes) == 0 {
 		t.Error("E1 produced no output through the facade")
+	}
+}
+
+// scaledDiskStorageSpec derives a storage spec from a §6.1 drive with
+// the time axis compressed 300x (preserving every ratio), audits every
+// 200 scaled hours, and repair pinned at 2 scaled hours — the recipe
+// that keeps run-to-loss trials cheap in tests and benches alike.
+func scaledDiskStorageSpec(d repro.DriveSpec) repro.StorageSpec {
+	s := repro.DiskStorageSpec(d, 0)
+	s.VisibleMean /= 300
+	s.LatentMean /= 300
+	s.ScrubsPerYear = 8760.0 / 200
+	s.RepairHours = 2
+	return s
+}
+
+// TestMixedFleetMTTDLOrdering is the heterogeneous-fleet acceptance
+// regression: a consumer+enterprise mix must land strictly between the
+// pure fleets.
+func TestMixedFleetMTTDLOrdering(t *testing.T) {
+	consumer := scaledDiskStorageSpec(repro.Barracuda200())
+	enterprise := scaledDiskStorageSpec(repro.Cheetah146())
+
+	mttdl := func(specs ...repro.StorageSpec) float64 {
+		t.Helper()
+		cfg, err := repro.FleetConfig(specs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := repro.NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := r.Estimate(repro.SimOptions{Trials: 1200, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.MTTDL.Point
+	}
+	allConsumer := mttdl(consumer, consumer, consumer)
+	mixed := mttdl(consumer, consumer, enterprise)
+	allEnterprise := mttdl(enterprise, enterprise, enterprise)
+	if !(allConsumer < mixed && mixed < allEnterprise) {
+		t.Errorf("mixed fleet MTTDL %.0f not strictly between all-consumer %.0f and all-enterprise %.0f",
+			mixed, allConsumer, allEnterprise)
 	}
 }
 
