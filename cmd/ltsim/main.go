@@ -15,24 +15,40 @@
 //
 // Named tiers: "consumer" and "enterprise" are the §6.1 drives at the
 // -scrubs-per-year audit frequency; "tape" is an offline shelf audited
-// once a year with handling-scale repair times. In -replica mode the
-// uniform-fleet flags -mv, -ml, -mrv, -mrl, -replicas, and -repair-bug
-// are ignored; -alpha, -audit-wear, -trials, -horizon, and -seed apply.
+// once a year with handling-scale repair times (storage.TierSpec defines
+// all three). In -replica mode the uniform-fleet flags -mv, -ml, -mrv,
+// -mrl, -replicas, and -repair-bug are ignored; -alpha, -audit-wear,
+// -trials, -horizon, and -seed apply.
+//
+// Two flags connect the CLI to the ltsimd daemon:
+//
+//	-json        emit the machine-readable estimate (the exact encoding
+//	             the daemon serves) instead of text tables
+//	-server URL  send the request to a running ltsimd instead of
+//	             simulating locally; the response body (always JSON) is
+//	             printed and the cache disposition goes to stderr
+//
+// Local -json output and a daemon response for the same flags are
+// byte-identical: both build the same sim.Config through the same
+// service request type and encode through internal/report.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/faults"
 	"repro/internal/model"
-	"repro/internal/repair"
 	"repro/internal/report"
-	"repro/internal/scrub"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -52,6 +68,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		bug     = flag.Float64("repair-bug", 0, "probability a repair plants a latent fault (§6.6)")
 		wear    = flag.Float64("audit-wear", 0, "probability an audit pass plants a latent fault (§6.6)")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable estimate JSON instead of tables")
+		server  = flag.String("server", "", "base URL of a running ltsimd (e.g. http://localhost:8356); query it instead of simulating locally")
 	)
 	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
 		replicaFlags = append(replicaFlags, v)
@@ -64,6 +82,7 @@ func main() {
 		scrubs: *scrubs, alpha: *alpha, replicas: *reps,
 		trials: *trials, horizonYears: *horizon, seed: *seed,
 		bug: *bug, wear: *wear, replicaSpecs: replicaFlags,
+		asJSON: *asJSON, server: *server,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -78,26 +97,20 @@ type config struct {
 	seed             uint64
 	bug, wear        float64
 	replicaSpecs     []string
+	asJSON           bool
+	server           string
 }
 
 // parseReplica resolves one -replica flag value into a storage spec.
 func parseReplica(v string, defaultScrubs float64) (storage.Spec, error) {
-	switch v {
-	case "consumer":
-		return storage.DiskSpec(storage.Barracuda200(), defaultScrubs), nil
-	case "enterprise":
-		return storage.DiskSpec(storage.Cheetah146(), defaultScrubs), nil
-	case "tape":
-		d := storage.Barracuda200()
-		shelf := storage.TapeShelf(200, 80, 24, 0.001, 0.001, 15)
-		// Shelved media dodge in-service wear; audit once a year.
-		return storage.OfflineSpec(shelf, 3*d.MTTFHours(), 3*d.MTTFHours()/model.SchwarzLatentFactor, 1), nil
+	if s, ok := storage.TierSpec(v, defaultScrubs); ok {
+		return s, nil
 	}
 	s := storage.Spec{Label: "custom", LatentMean: math.Inf(1)}
 	for _, kv := range strings.Split(v, ",") {
 		key, val, ok := strings.Cut(kv, "=")
 		if !ok {
-			return storage.Spec{}, fmt.Errorf("replica %q: %q is not key=value (or a named tier: consumer, enterprise, tape)", v, kv)
+			return storage.Spec{}, fmt.Errorf("replica %q: %q is not key=value (or a named tier: %s)", v, kv, strings.Join(storage.TierNames(), ", "))
 		}
 		if key == "label" {
 			s.Label = val
@@ -129,59 +142,63 @@ func parseReplica(v string, defaultScrubs float64) (storage.Spec, error) {
 	return s, nil
 }
 
-// buildConfig assembles the simulator configuration from the flags:
-// heterogeneous when -replica flags are present, uniform otherwise.
-func buildConfig(c config) (sim.Config, error) {
-	var corr faults.Correlation = faults.Independent{}
-	if c.alpha < 1 {
-		a, err := faults.NewAlphaCorrelation(c.alpha)
-		if err != nil {
-			return sim.Config{}, err
-		}
-		corr = a
+// buildRequest assembles the service request the flags describe — the
+// single construction path shared by local one-shot runs, -json output,
+// and -server client mode, so all three agree on the configuration (and
+// the daemon's cache key).
+func buildRequest(c config) (service.EstimateRequest, error) {
+	req := service.EstimateRequest{
+		Alpha:         c.alpha,
+		AuditWearProb: c.wear,
+		ScrubsPerYear: &c.scrubs,
+		Trials:        c.trials,
+		HorizonYears:  c.horizonYears,
+		Seed:          &c.seed,
 	}
 	if len(c.replicaSpecs) > 0 {
-		specs := make([]storage.Spec, len(c.replicaSpecs))
 		for i, v := range c.replicaSpecs {
 			s, err := parseReplica(v, c.scrubs)
 			if err != nil {
-				return sim.Config{}, err
+				return service.EstimateRequest{}, err
 			}
-			specs[i] = s
+			if err := s.Validate(); err != nil {
+				return service.EstimateRequest{}, fmt.Errorf("replica %d: %w", i, err)
+			}
+			req.Fleet = append(req.Fleet, service.FleetEntryFromSpec(s))
 		}
-		cfg, err := storage.FleetConfig(specs...)
-		if err != nil {
-			return sim.Config{}, err
+		return req, nil
+	}
+	// On the wire, zero means "use the default" — reject it here so an
+	// explicit -mv 0 errors instead of silently becoming the paper value.
+	for name, v := range map[string]float64{"-mv": c.mv, "-ml": c.ml} {
+		if v == 0 {
+			return service.EstimateRequest{}, fmt.Errorf("%s must be positive (or inf to disable the channel)", name)
 		}
-		cfg.Correlation = corr
-		cfg.AuditLatentFaultProb = c.wear
-		return cfg, nil
 	}
-	rep, err := repair.Automated(c.mrv, c.mrl, c.bug)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	var strat scrub.Strategy = scrub.None{}
-	if c.scrubs > 0 {
-		p, err := scrub.NewPeriodic(c.scrubs, 0)
-		if err != nil {
-			return sim.Config{}, err
+	for name, v := range map[string]float64{"-mrv": c.mrv, "-mrl": c.mrl} {
+		if v == 0 {
+			return service.EstimateRequest{}, fmt.Errorf("%s must be positive", name)
 		}
-		strat = p
 	}
-	return sim.Config{
-		Replicas:             c.replicas,
-		VisibleMean:          c.mv,
-		LatentMean:           c.ml,
-		Scrub:                strat,
-		Repair:               rep,
-		Correlation:          corr,
-		AuditLatentFaultProb: c.wear,
-	}, nil
+	req.Replicas = c.replicas
+	req.VisibleMeanHours = service.WireFloat(c.mv)
+	req.LatentMeanHours = service.WireFloat(c.ml)
+	req.RepairVisibleHours = service.WireFloat(c.mrv)
+	req.RepairLatentHours = service.WireFloat(c.mrl)
+	req.RepairBugProb = c.bug
+	return req, nil
 }
 
 func run(c config) error {
-	cfg, err := buildConfig(c)
+	req, err := buildRequest(c)
+	if err != nil {
+		return err
+	}
+	if c.server != "" {
+		return runRemote(c.server, req)
+	}
+
+	cfg, opt, err := req.Build()
 	if err != nil {
 		return err
 	}
@@ -189,16 +206,51 @@ func run(c config) error {
 	if err != nil {
 		return err
 	}
-	est, err := runner.Estimate(sim.Options{
-		Trials:  c.trials,
-		Seed:    c.seed,
-		Horizon: model.YearsToHours(c.horizonYears),
-	})
+	est, err := runner.Estimate(opt)
 	if err != nil {
 		return err
 	}
 
-	out := os.Stdout
+	if c.asJSON {
+		body, err := json.Marshal(report.NewEstimateJSON(est, opt.Horizon))
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Println(string(body))
+		return err
+	}
+	return renderTables(os.Stdout, c, cfg, est)
+}
+
+// runRemote sends the request to a running ltsimd and relays the JSON
+// response body; the cache disposition header goes to stderr.
+func runRemote(base string, req service.EstimateRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(base, "/") + "/estimate"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	if disp := resp.Header.Get("X-Ltsimd-Cache"); disp != "" {
+		fmt.Fprintf(os.Stderr, "ltsim: served from %s (%s)\n", url, disp)
+	}
+	_, err = os.Stdout.Write(payload)
+	return err
+}
+
+// renderTables draws the human-readable report of a local run.
+func renderTables(out io.Writer, c config, cfg sim.Config, est sim.Estimate) error {
 	if len(cfg.Specs) > 0 {
 		fleet := report.NewTable("Heterogeneous fleet",
 			"replica", "label", "MV (h)", "ML (h)", "audit", "repair MRV (h)")

@@ -1,0 +1,91 @@
+// Command ltsimd serves the Monte Carlo reliability estimator as a
+// long-running daemon: canonical request hashing, a content-addressed
+// LRU result cache, and a sharded worker pool, so repeat what-if queries
+// cost a cache lookup instead of a full simulation.
+//
+//	ltsimd -addr :8356
+//	curl -s localhost:8356/healthz
+//	curl -s -X POST localhost:8356/estimate -d '{"alpha":0.1,"trials":2000}'
+//	curl -s -X POST localhost:8356/sweep -d '{"requests":[{"replicas":2},{"replicas":3}]}'
+//	curl -s localhost:8356/experiments
+//	curl -s -X POST 'localhost:8356/experiments/run?id=E2&quick=1'
+//	curl -s localhost:8356/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
+// queued and in-flight jobs drain (up to -drain), then workers stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8356", "listen address")
+		cacheSize  = flag.Int("cache", 1024, "result cache capacity, entries")
+		shards     = flag.Int("shards", 0, "scheduler shards (0 = min(4, GOMAXPROCS))")
+		queueDepth = flag.Int("queue", 64, "job queue depth per shard")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job simulation timeout")
+		parallel   = flag.Int("sim-parallel", 0, "simulator workers per job (0 = GOMAXPROCS/shards)")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for queued and in-flight jobs")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *drain, service.Config{
+		CacheSize:   *cacheSize,
+		Shards:      *shards,
+		QueueDepth:  *queueDepth,
+		JobTimeout:  *jobTimeout,
+		SimParallel: *parallel,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "ltsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, drain time.Duration, cfg service.Config) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ltsimd: listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("ltsimd: shutting down, draining jobs (budget %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ltsimd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ltsimd: drain budget exhausted, in-flight jobs aborted: %v", err)
+	} else {
+		log.Printf("ltsimd: drained cleanly")
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

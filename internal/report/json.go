@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/json"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file is the machine-readable counterpart of the text tables: one
+// JSON encoding of a Monte Carlo estimate shared by every producer, so
+// `ltsim -json`, the ltsimd daemon, and cached daemon replies are
+// byte-comparable. Field order is fixed by the struct declarations and
+// floats render via encoding/json's shortest-round-trip form, so equal
+// estimates encode to identical bytes — the property the service's
+// content-addressed cache relies on.
+
+// IntervalJSON is a stats.Interval on the wire.
+type IntervalJSON struct {
+	Point float64 `json:"point"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Level float64 `json:"level"`
+}
+
+// NewIntervalJSON converts a stats.Interval.
+func NewIntervalJSON(iv stats.Interval) IntervalJSON {
+	return IntervalJSON{Point: iv.Point, Lo: iv.Lo, Hi: iv.Hi, Level: iv.Level}
+}
+
+// CellJSON is one double-fault matrix cell: losses whose window was
+// opened by First and closed by Final, plus the conditional loss
+// probability when its denominator is non-zero.
+type CellJSON struct {
+	First  string   `json:"first"`
+	Final  string   `json:"final"`
+	Losses int      `json:"losses"`
+	Prob   *float64 `json:"prob,omitempty"`
+}
+
+// EventCountsJSON aggregates sim.TrialStats on the wire.
+type EventCountsJSON struct {
+	VisibleFaults int `json:"visible_faults"`
+	LatentFaults  int `json:"latent_faults"`
+	Detections    int `json:"detections"`
+	Repairs       int `json:"repairs"`
+	Audits        int `json:"audits"`
+	ShockEvents   int `json:"shock_events"`
+	AuditInduced  int `json:"audit_induced"`
+	RepairBugs    int `json:"repair_bugs"`
+}
+
+// EstimateJSON is the canonical machine-readable form of a sim.Estimate.
+type EstimateJSON struct {
+	MTTDLHours IntervalJSON  `json:"mttdl_hours"`
+	MTTDLYears IntervalJSON  `json:"mttdl_years"`
+	LossProb   *IntervalJSON `json:"loss_prob,omitempty"`
+	Trials     int           `json:"trials"`
+	Censored   int           `json:"censored"`
+	Events     EventCountsJSON `json:"events"`
+	Matrix     []CellJSON    `json:"matrix"`
+}
+
+// NewEstimateJSON converts an estimate. horizonHours > 0 marks the run
+// as censored-at-horizon, which is when LossProb is meaningful.
+func NewEstimateJSON(est sim.Estimate, horizonHours float64) EstimateJSON {
+	toYears := func(iv stats.Interval) IntervalJSON {
+		return IntervalJSON{
+			Point: model.Years(iv.Point), Lo: model.Years(iv.Lo), Hi: model.Years(iv.Hi),
+			Level: iv.Level,
+		}
+	}
+	out := EstimateJSON{
+		MTTDLHours: NewIntervalJSON(est.MTTDL),
+		MTTDLYears: toYears(est.MTTDL),
+		Trials:     est.Trials,
+		Censored:   est.Censored,
+		Events: EventCountsJSON{
+			VisibleFaults: est.Stats.VisibleFaults,
+			LatentFaults:  est.Stats.LatentFaults,
+			Detections:    est.Stats.Detections,
+			Repairs:       est.Stats.Repairs,
+			Audits:        est.Stats.Audits,
+			ShockEvents:   est.Stats.ShockEvents,
+			AuditInduced:  est.Stats.AuditInduced,
+			RepairBugs:    est.Stats.RepairBugs,
+		},
+	}
+	if horizonHours > 0 {
+		iv := NewIntervalJSON(est.LossProb)
+		out.LossProb = &iv
+	}
+	for _, first := range []faults.Type{faults.Visible, faults.Latent} {
+		for _, final := range []faults.Type{faults.Visible, faults.Latent} {
+			cell := CellJSON{
+				First:  first.String(),
+				Final:  final.String(),
+				Losses: est.Matrix.Losses[first][final],
+			}
+			wov := est.Matrix.WOVByVis
+			if first == faults.Latent {
+				wov = est.Matrix.WOVByLat
+			}
+			if wov > 0 {
+				p := est.Matrix.ConditionalLossProb(first, final)
+				cell.Prob = &p
+			}
+			out.Matrix = append(out.Matrix, cell)
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders a table as {title, columns, rows} — the JSON view
+// of the same grid Render draws as text.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows})
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchArtifact is the schema of BENCH_service.json: the daemon smoke
+// bench comparing a cold sweep (every config simulated) against the same
+// sweep replayed from cache, the seed measurement of the service's perf
+// trajectory.
+type BenchArtifact struct {
+	Bench          string  `json:"bench"`
+	SweepConfigs   int     `json:"sweep_configs"`
+	TrialsPerItem  int     `json:"trials_per_item"`
+	ColdMS         int64   `json:"cold_ms"`
+	WarmMS         int64   `json:"warm_ms"`
+	Speedup        float64 `json:"speedup"`
+	WarmCacheHits  int     `json:"warm_cache_hits"`
+	WarmHitRate    float64 `json:"warm_hit_rate"`
+	BitIdentical   bool    `json:"bit_identical"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	SchedulerShards int    `json:"scheduler_shards"`
+}
+
+// TestBenchArtifact measures estimate latency cold vs. cache-hit over
+// the acceptance sweep and, when BENCH_SERVICE_OUT is set, writes the
+// measurements as a machine-readable JSON artifact (CI publishes it as
+// BENCH_service.json). Without the env var it still runs as a cheap
+// assertion that the cached pass is faster and fully hit.
+func TestBenchArtifact(t *testing.T) {
+	svc := New(Config{CacheSize: 256, Shards: 4, QueueDepth: 64, JobTimeout: time.Minute})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	}()
+
+	grid := sweepGrid()
+	for i := range grid.Requests {
+		grid.Requests[i].Trials = 200
+	}
+
+	start := time.Now()
+	cold, _ := runSweep(t, ts.URL, grid)
+	coldMS := time.Since(start).Milliseconds()
+
+	start = time.Now()
+	warm, warmSummary := runSweep(t, ts.URL, grid)
+	warmMS := time.Since(start).Milliseconds()
+
+	identical := len(cold) == len(warm)
+	for i := range cold {
+		if cold[i] != warm[i] {
+			identical = false
+		}
+	}
+	if !identical {
+		t.Error("warm sweep results are not bit-identical to cold")
+	}
+	if warmSummary.CacheHits < len(grid.Requests)*95/100 {
+		t.Errorf("warm cache hits = %d of %d, want >= 95%%", warmSummary.CacheHits, len(grid.Requests))
+	}
+
+	art := BenchArtifact{
+		Bench:           "service_sweep_cold_vs_cached",
+		SweepConfigs:    len(grid.Requests),
+		TrialsPerItem:   200,
+		ColdMS:          coldMS,
+		WarmMS:          warmMS,
+		WarmCacheHits:   warmSummary.CacheHits,
+		WarmHitRate:     float64(warmSummary.CacheHits) / float64(len(grid.Requests)),
+		BitIdentical:    identical,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		SchedulerShards: svc.cfg.Shards,
+	}
+	if warmMS > 0 {
+		art.Speedup = float64(coldMS) / float64(warmMS)
+	}
+	// The cached pass must be measurably faster. Timer granularity can
+	// make tiny sweeps flaky, so only enforce when the cold pass did
+	// real work.
+	if coldMS >= 50 && warmMS >= coldMS {
+		t.Errorf("cached sweep (%dms) not faster than cold sweep (%dms)", warmMS, coldMS)
+	}
+
+	out := os.Getenv("BENCH_SERVICE_OUT")
+	if out == "" {
+		t.Logf("cold %dms, warm %dms, %d/%d hits (set BENCH_SERVICE_OUT to write the artifact)",
+			coldMS, warmMS, warmSummary.CacheHits, len(grid.Requests))
+		return
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: cold %dms, warm %dms, speedup %.1fx", out, coldMS, warmMS, art.Speedup)
+}

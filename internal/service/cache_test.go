@@ -1,0 +1,84 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted prematurely")
+	}
+	// a is now most recent; inserting c should evict b.
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Errorf("a = %q, %v; want A, true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "C" {
+		t.Errorf("c = %q, %v; want C, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("size/capacity = %d/%d, want 2/2", st.Size, st.Capacity)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	if v, _ := c.Get("k"); string(v) != "v2" {
+		t.Errorf("updated value = %q, want v2", v)
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Errorf("size after update = %d, want 1", st.Size)
+	}
+}
+
+func TestCacheStatsHitRate(t *testing.T) {
+	c := newResultCache(4)
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("k")
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if want := 2.0 / 3.0; st.HitRate != want {
+		t.Errorf("hit rate = %v, want %v", st.HitRate, want)
+	}
+}
+
+// TestCacheConcurrentAccess is the race-detector workout: concurrent
+// readers, writers, and stats snapshots over a small, hot key space.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Error("empty cached value")
+					return
+				}
+				c.Put(key, []byte(key))
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Size > 8 {
+		t.Errorf("size %d exceeds capacity 8", st.Size)
+	}
+}

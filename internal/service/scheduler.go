@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler errors.
+var (
+	// ErrQueueFull reports that the job's shard queue is at capacity —
+	// the backpressure signal the HTTP layer maps to 503.
+	ErrQueueFull = errors.New("service: shard queue full")
+	// ErrShuttingDown reports a submission after shutdown began.
+	ErrShuttingDown = errors.New("service: scheduler shutting down")
+)
+
+// job is one unit of scheduled work: compute bytes for a key. Waiters
+// block on done; duplicate submissions of an in-flight key join the
+// existing job instead of queueing a second computation.
+type job struct {
+	key  string
+	fn   func(context.Context) ([]byte, error)
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// shard is one scheduler partition: a bounded queue, one worker, and the
+// single-flight table for keys currently queued or running here. Keys
+// hash to shards, so all duplicates of a key meet in the same table and
+// the per-shard mutex never contends across shards.
+type shard struct {
+	queue   chan *job
+	mu      sync.Mutex
+	pending map[string]*job
+}
+
+// scheduler fans jobs out across key-hashed shards with per-job
+// timeouts, graceful draining, and aggregate stats.
+type scheduler struct {
+	shards  []*shard
+	timeout time.Duration
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	quit    chan struct{}
+	workers sync.WaitGroup
+	// mu makes the closed transition atomic with respect to job
+	// admission: Submit holds the read side across its check-and-Add, so
+	// once Shutdown flips closed under the write lock, every admitted
+	// job is already counted in jobs and jobs.Wait() races with nothing.
+	mu     sync.RWMutex
+	jobs   sync.WaitGroup
+	closed bool
+
+	inflight  atomic.Int64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+}
+
+// newScheduler starts nShards workers, one per shard.
+func newScheduler(nShards, queueDepth int, timeout time.Duration) *scheduler {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scheduler{
+		shards:  make([]*shard, nShards),
+		timeout: timeout,
+		baseCtx: ctx,
+		cancel:  cancel,
+		quit:    make(chan struct{}),
+	}
+	for i := range s.shards {
+		sh := &shard{
+			queue:   make(chan *job, queueDepth),
+			pending: make(map[string]*job),
+		}
+		s.shards[i] = sh
+		s.workers.Add(1)
+		go s.work(sh)
+	}
+	return s
+}
+
+// shardFor hashes a key onto its shard.
+func (s *scheduler) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// work is one shard's worker loop.
+func (s *scheduler) work(sh *shard) {
+	defer s.workers.Done()
+	for {
+		select {
+		case j := <-sh.queue:
+			s.run(sh, j)
+		case <-s.quit:
+			// Drain whatever is still queued so no waiter blocks
+			// forever; post-shutdown jobs fail fast on the cancelled
+			// base context.
+			for {
+				select {
+				case j := <-sh.queue:
+					s.run(sh, j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one job under the per-job timeout and publishes its
+// outcome.
+func (s *scheduler) run(sh *shard, j *job) {
+	s.inflight.Add(1)
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.timeout)
+	j.val, j.err = j.fn(ctx)
+	cancel()
+	s.inflight.Add(-1)
+	if j.err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+
+	sh.mu.Lock()
+	delete(sh.pending, j.key)
+	sh.mu.Unlock()
+	close(j.done)
+	s.jobs.Done()
+}
+
+// Submit schedules fn under key and waits for its result. Duplicate
+// in-flight keys share one execution (all waiters get the same bytes).
+// ctx cancels the *wait*, not the job: an abandoned job still completes
+// and can populate the cache.
+func (s *scheduler) Submit(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrShuttingDown
+	}
+	sh := s.shardFor(key)
+
+	sh.mu.Lock()
+	j, joined := sh.pending[key]
+	if !joined {
+		j = &job{key: key, fn: fn, done: make(chan struct{})}
+		select {
+		case sh.queue <- j:
+			sh.pending[key] = j
+			s.jobs.Add(1)
+		default:
+			sh.mu.Unlock()
+			s.mu.RUnlock()
+			return nil, ErrQueueFull
+		}
+	}
+	sh.mu.Unlock()
+	s.mu.RUnlock()
+
+	select {
+	case <-j.done:
+		return j.val, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SchedulerStats is a point-in-time scheduler snapshot.
+type SchedulerStats struct {
+	Shards     int    `json:"shards"`
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int64  `json:"inflight"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+}
+
+// Stats snapshots the scheduler counters. QueueDepth sums queued (not
+// yet running) jobs across shards.
+func (s *scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		Shards:    len(s.shards),
+		Inflight:  s.inflight.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+	}
+	for _, sh := range s.shards {
+		st.QueueDepth += len(sh.queue)
+	}
+	return st
+}
+
+// Shutdown stops accepting work and drains: queued and running jobs
+// complete normally until ctx expires, at which point the base context
+// is cancelled and the remainder abort promptly (the simulator checks
+// its context between trials). Workers are always reaped before return.
+func (s *scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // abort in-flight simulations
+		<-drained  // every job still publishes, so this is prompt
+	}
+	close(s.quit)
+	s.workers.Wait()
+	s.cancel()
+	return err
+}

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Service is the simulation service: canonical hashing in front of a
+// content-addressed cache in front of a sharded scheduler. Create with
+// New, serve Handler, stop with Shutdown.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+	sched *scheduler
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New returns a started service (its scheduler workers are running).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheSize),
+		sched: newScheduler(cfg.Shards, cfg.QueueDepth, cfg.JobTimeout),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /experiments/run", s.handleExperimentRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the scheduler; see scheduler.Shutdown for semantics.
+func (s *Service) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
+
+// writeError emits a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// submitStatus maps a scheduler error onto an HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, sim.ErrInvalidConfig):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// resolve fingerprints one request and returns the compute closure that
+// produces (and caches) its encoded result.
+func (s *Service) resolve(req EstimateRequest) (key string, compute func(context.Context) ([]byte, error), err error) {
+	cfg, opt, err := req.Build()
+	if err != nil {
+		return "", nil, err
+	}
+	opt.Parallel = s.cfg.SimParallel
+	key, err = sim.Fingerprint(cfg, opt)
+	if err != nil {
+		return "", nil, err
+	}
+	compute = func(ctx context.Context) ([]byte, error) {
+		runner, err := sim.NewRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		est, err := runner.EstimateContext(ctx, opt)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(report.NewEstimateJSON(est, opt.Horizon))
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, body)
+		return body, nil
+	}
+	return key, compute, nil
+}
+
+// handleEstimate serves one estimate: cache hit replays the stored
+// bytes; miss schedules the simulation and waits for it.
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	key, compute, err := s.resolve(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, hit := s.cache.Get(key)
+	if !hit {
+		body, err = s.sched.Submit(r.Context(), key, compute)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Ltsimd-Key", key)
+	h.Set("X-Ltsimd-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// SweepRequest fans a batch of estimate requests across the worker pool.
+type SweepRequest struct {
+	Requests []EstimateRequest `json:"requests"`
+}
+
+// SweepLine is one NDJSON line of a sweep response: a per-request result
+// (in completion order, Index mapping it back to the request) or error.
+// The final line is the summary (Summary true, Result empty).
+type SweepLine struct {
+	Index     int             `json:"index"`
+	Key       string          `json:"key,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Summary   bool            `json:"summary,omitempty"`
+	Requested int             `json:"requested,omitempty"`
+	OK        int             `json:"ok,omitempty"`
+	Errors    int             `json:"errors,omitempty"`
+	CacheHits int             `json:"cache_hits,omitempty"`
+	ElapsedMS int64           `json:"elapsed_ms,omitempty"`
+}
+
+// handleSweep streams a batch: each request is fingerprinted, served
+// from cache or scheduled, and written back as one NDJSON line the
+// moment it finishes — results interleave across workers, so a sweep's
+// wall clock is the slowest shard, not the sum. A trailing summary line
+// reports totals and the batch's cache-hit count.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("sweep needs at least one request"))
+		return
+	}
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	type outcome struct {
+		line SweepLine
+		hit  bool
+	}
+	results := make(chan outcome)
+	// Cap concurrent submissions below total queue capacity so a large
+	// sweep applies backpressure to itself instead of tripping 503s.
+	sem := make(chan struct{}, max(1, s.cfg.Shards*s.cfg.QueueDepth/2))
+	for i, er := range req.Requests {
+		go func(i int, er EstimateRequest) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			key, compute, err := s.resolve(er)
+			if err != nil {
+				results <- outcome{line: SweepLine{Index: i, Error: err.Error()}}
+				return
+			}
+			body, hit := s.cache.Get(key)
+			if !hit {
+				body, err = s.submitWithRetry(r.Context(), key, compute)
+				if err != nil {
+					results <- outcome{line: SweepLine{Index: i, Key: key, Error: err.Error()}}
+					return
+				}
+			}
+			results <- outcome{line: SweepLine{Index: i, Key: key, Result: body}, hit: hit}
+		}(i, er)
+	}
+
+	enc := json.NewEncoder(w)
+	summary := SweepLine{Summary: true, Requested: len(req.Requests)}
+	for range req.Requests {
+		out := <-results
+		if out.line.Error != "" {
+			summary.Errors++
+		} else {
+			summary.OK++
+		}
+		if out.hit {
+			summary.CacheHits++
+		}
+		enc.Encode(out.line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary.ElapsedMS = time.Since(start).Milliseconds()
+	enc.Encode(summary)
+}
+
+// submitWithRetry is Submit with backoff on a full shard queue: the
+// sweep semaphore caps total concurrency, but key hashing can still
+// skew submissions onto one shard, and a sweep item should wait its
+// turn rather than surface a transient 503 as a failed line.
+func (s *Service) submitWithRetry(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		body, err := s.sched.Submit(ctx, key, compute)
+		if !errors.Is(err, ErrQueueFull) {
+			return body, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// handleExperiments lists the registered experiment index.
+func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		Source string `json:"source"`
+	}
+	out := make([]entry, 0)
+	for _, e := range experiments.All() {
+		out = append(out, entry{ID: e.ID, Title: e.Title, Source: e.Source})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// experimentResult is an experiment run on the wire: tables as
+// structured grids, plots pre-rendered as the same ASCII the CLI draws.
+type experimentResult struct {
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Source string          `json:"source"`
+	Tables []*report.Table `json:"tables"`
+	Plots  []string        `json:"plots"`
+	Notes  []string        `json:"notes"`
+}
+
+// handleExperimentRun runs one registered experiment by id
+// (?id=E2&quick=1&seed=1) through the same scheduler and cache as
+// estimates — experiments are deterministic in (id, seed, quick), so
+// they content-address just as well.
+func (s *Service) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	e, ok := experiments.ByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+		return
+	}
+	quick := false
+	if q := r.URL.Query().Get("quick"); q != "" {
+		v, err := strconv.ParseBool(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("quick: %w", err))
+			return
+		}
+		quick = v
+	}
+	var seed uint64 = 1
+	if q := r.URL.Query().Get("seed"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("seed: %w", err))
+			return
+		}
+		seed = v
+	}
+	key := fmt.Sprintf("exp/v1|%s|seed=%d|quick=%t", e.ID, seed, quick)
+	body, hit := s.cache.Get(key)
+	if !hit {
+		var err error
+		body, err = s.sched.Submit(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+			res, err := runExperiment(ctx, e, experiments.RunConfig{Seed: seed, Quick: quick})
+			if err != nil {
+				return nil, err
+			}
+			out := experimentResult{
+				ID: e.ID, Title: e.Title, Source: e.Source,
+				Tables: res.Tables, Plots: make([]string, 0, len(res.Plots)),
+				Notes: res.Notes,
+			}
+			if out.Tables == nil {
+				out.Tables = []*report.Table{}
+			}
+			if out.Notes == nil {
+				out.Notes = []string{}
+			}
+			for _, p := range res.Plots {
+				var sb strings.Builder
+				if err := p.Render(&sb); err != nil {
+					return nil, err
+				}
+				out.Plots = append(out.Plots, sb.String())
+			}
+			b, err := json.Marshal(out)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, b)
+			return b, nil
+		})
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Ltsimd-Key", key)
+	h.Set("X-Ltsimd-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// runExperiment runs e under ctx's deadline. Experiment Run functions
+// predate context support, so cancellation is cooperative only at the
+// job boundary: on timeout or shutdown the job publishes ctx's error
+// promptly (keeping the drain budget honest) while the orphaned Run
+// finishes on its own goroutine and is discarded — experiments are
+// finite, so the goroutine terminates, it just stops counting.
+func runExperiment(ctx context.Context, e experiments.Experiment, cfg experiments.RunConfig) (*experiments.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := e.Run(cfg)
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handleHealthz is the liveness probe.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// StatsSnapshot is the /stats payload.
+type StatsSnapshot struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Cache         CacheStats     `json:"cache"`
+	Scheduler     SchedulerStats `json:"scheduler"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.cache.Stats(),
+		Scheduler:     s.sched.Stats(),
+	}
+}
+
+// handleStats reports cache and scheduler health.
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

@@ -1,0 +1,77 @@
+// Package service is the long-running simulation service behind cmd/ltsimd:
+// the paper's what-if reliability estimator turned into a daemon that
+// archives (LOCKSS-style long-term stores, capacity planners, dashboards)
+// can query continuously instead of shelling out to one-shot CLI runs.
+//
+// Three mechanisms make repeat traffic cheap and safe:
+//
+//   - Canonical request hashing. Every estimate request is built into a
+//     sim.Config + sim.Options pair and fingerprinted with sim.Fingerprint,
+//     which canonicalizes over the *resolved* per-replica expansion: a
+//     scalar-shorthand fleet and its explicit Specs form, or two requests
+//     differing only in worker count, hash identically.
+//
+//   - A content-addressed result cache. Responses are cached as their
+//     encoded JSON bytes keyed by fingerprint, bounded by an LRU, so a
+//     repeat query replays the exact bytes of the first answer —
+//     bit-identical, which the simulator's determinism guarantees is also
+//     what a recomputation would produce.
+//
+//   - A sharded worker-pool scheduler. Cache misses become jobs hashed
+//     onto shards, each with its own bounded queue and worker; duplicate
+//     in-flight keys coalesce (single-flight) on their shard, jobs run
+//     under per-job contexts with a timeout, and shutdown drains queued
+//     work before cancelling anything.
+//
+// HTTP surface (all JSON):
+//
+//	POST /estimate        one estimate; X-Ltsimd-Cache: hit|miss
+//	POST /sweep           many estimates, streamed back as NDJSON lines
+//	                      in completion order, trailing summary line
+//	GET  /experiments     the registered experiment index
+//	POST /experiments/run run one experiment by id (?id=E2&quick=1&seed=1)
+//	GET  /healthz         liveness
+//	GET  /stats           cache hit rate, queue depth, in-flight jobs
+package service
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize bounds the result cache in entries; 0 means 1024.
+	CacheSize int
+	// Shards is the number of scheduler shards (each with its own queue
+	// and worker); 0 means min(4, GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's job queue; 0 means 64.
+	QueueDepth int
+	// JobTimeout bounds one simulation job's runtime; 0 means 5 minutes.
+	JobTimeout time.Duration
+	// SimParallel is the per-job simulator worker count; 0 divides
+	// GOMAXPROCS evenly across shards so concurrent jobs do not
+	// oversubscribe the machine.
+	SimParallel int
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(4, runtime.GOMAXPROCS(0))
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.SimParallel <= 0 {
+		c.SimParallel = max(1, runtime.GOMAXPROCS(0)/c.Shards)
+	}
+	return c
+}

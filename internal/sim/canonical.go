@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical serializes a validated configuration and its result-shaping
+// options into a deterministic, self-describing string: the cache key
+// substrate for services that memoize estimates.
+//
+// Two requests that produce byte-identical estimates must canonicalize
+// identically, so the encoding works from the *resolved* per-replica
+// expansion (Config.ReplicaSpecs), not the raw struct: a scalar-shorthand
+// Config and the equivalent explicit Specs fleet serialize to the same
+// string, as do MinIntact 0 and its default 1. Options are normalized the
+// same way — Parallel is omitted entirely (the estimator is deterministic
+// regardless of worker count, a property spec_test.go pins down) and
+// Level 0 folds to its 0.95 default.
+//
+// Interface-typed fields (scrub strategies, repair samplers, correlation
+// models) are encoded by concrete type name plus field values via
+// reflection, so any two distinct parameterizations differ and equal ones
+// collide, without each implementation opting in. Function-valued state
+// cannot be canonicalized and returns an error.
+func Canonical(cfg Config, opt Options) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("sim.Config/v1{")
+	fmt.Fprintf(&b, "replicas:%d,", cfg.NumReplicas())
+	minIntact := cfg.MinIntact
+	if minIntact == 0 {
+		minIntact = 1
+	}
+	fmt.Fprintf(&b, "minIntact:%d,", minIntact)
+	b.WriteString("specs:[")
+	for i, s := range cfg.ReplicaSpecs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if err := writeCanonical(&b, reflect.ValueOf(s)); err != nil {
+			return "", fmt.Errorf("sim: canonicalizing replica %d: %w", i, err)
+		}
+	}
+	b.WriteString("],correlation:")
+	if err := writeCanonical(&b, reflect.ValueOf(cfg.Correlation)); err != nil {
+		return "", fmt.Errorf("sim: canonicalizing correlation: %w", err)
+	}
+	b.WriteString(",shocks:[")
+	for i, s := range cfg.Shocks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if err := writeCanonical(&b, reflect.ValueOf(s)); err != nil {
+			return "", fmt.Errorf("sim: canonicalizing shock %q: %w", s.Name, err)
+		}
+	}
+	b.WriteString("],")
+	fmt.Fprintf(&b, "auditLatent:%s,auditVisible:%s}",
+		canonFloat(cfg.AuditLatentFaultProb), canonFloat(cfg.AuditVisibleFaultProb))
+
+	opt = opt.withDefaults()
+	fmt.Fprintf(&b, "sim.Options/v1{trials:%d,horizon:%s,seed:%d,level:%s}",
+		opt.Trials, canonFloat(opt.Horizon), opt.Seed, canonFloat(opt.Level))
+	return b.String(), nil
+}
+
+// Fingerprint returns the hex SHA-256 of Canonical(cfg, opt): the
+// content-addressed cache key for an estimation request.
+func Fingerprint(cfg Config, opt Options) (string, error) {
+	s, err := Canonical(cfg, opt)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonFloat renders a float deterministically and round-trippably.
+func canonFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeCanonical deep-encodes a value: concrete type names for interface
+// and pointer indirections, declaration-ordered struct fields (unexported
+// included — derived caches are themselves deterministic functions of the
+// exported state), ordered slices, and key-sorted maps. It never calls
+// Interface(), so unexported fields of foreign types are readable.
+func writeCanonical(b *strings.Builder, v reflect.Value) error {
+	if !v.IsValid() {
+		b.WriteString("nil")
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Interface, reflect.Pointer:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return nil
+		}
+		return writeCanonical(b, v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteString(t.String())
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteByte(':')
+			if err := writeCanonical(b, v.Field(i)); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+		return nil
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			b.WriteString("nil")
+			return nil
+		}
+		b.WriteByte('[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeCanonical(b, v.Index(i)); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+		return nil
+	case reflect.Map:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return nil
+		}
+		keys := v.MapKeys()
+		entries := make([]string, 0, len(keys))
+		for _, k := range keys {
+			var kb, vb strings.Builder
+			if err := writeCanonical(&kb, k); err != nil {
+				return err
+			}
+			if err := writeCanonical(&vb, v.MapIndex(k)); err != nil {
+				return err
+			}
+			entries = append(entries, kb.String()+":"+vb.String())
+		}
+		sort.Strings(entries)
+		b.WriteString("map{")
+		b.WriteString(strings.Join(entries, ","))
+		b.WriteByte('}')
+		return nil
+	case reflect.Float64, reflect.Float32:
+		b.WriteString(canonFloat(v.Float()))
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+		return nil
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+		return nil
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+		return nil
+	default:
+		return fmt.Errorf("cannot canonicalize %s value", v.Kind())
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/repair"
+	"repro/internal/scrub"
+)
+
+// canonPaperConfig returns the §5.4 scrubbed mirror and default options.
+func canonPaperConfig(t *testing.T) (Config, Options) {
+	t.Helper()
+	cfg, err := PaperConfig(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, Options{Trials: 1000, Seed: 1}
+}
+
+func TestCanonicalScalarAndSpecsCollide(t *testing.T) {
+	cfg, opt := canonPaperConfig(t)
+
+	// The same fleet written as explicit per-replica specs.
+	expanded := Config{
+		Specs:       cfg.ReplicaSpecs(),
+		Correlation: cfg.Correlation,
+	}
+	a, err := Canonical(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical(expanded, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("scalar shorthand and expanded Specs canonicalize differently:\n%s\nvs\n%s", a, b)
+	}
+
+	// Partial override that resolves to the same values also collides.
+	partial := cfg
+	partial.Specs = make([]ReplicaSpec, 2)
+	partial.Specs[0].VisibleMean = cfg.VisibleMean
+	c, err := Canonical(partial, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Errorf("value-equal partial Specs canonicalize differently")
+	}
+}
+
+func TestCanonicalNormalizations(t *testing.T) {
+	cfg, opt := canonPaperConfig(t)
+	base, err := Fingerprint(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallelism does not shape results, so it must not shape keys.
+	par := opt
+	par.Parallel = 7
+	if fp, _ := Fingerprint(cfg, par); fp != base {
+		t.Errorf("Parallel changed the fingerprint")
+	}
+	// Level 0 is the documented 0.95 default.
+	lvl := opt
+	lvl.Level = 0.95
+	if fp, _ := Fingerprint(cfg, lvl); fp != base {
+		t.Errorf("explicit default Level changed the fingerprint")
+	}
+	// MinIntact 0 defaults to 1.
+	mi := cfg
+	mi.MinIntact = 1
+	if fp, _ := Fingerprint(mi, opt); fp != base {
+		t.Errorf("explicit default MinIntact changed the fingerprint")
+	}
+}
+
+func TestCanonicalSensitivity(t *testing.T) {
+	cfg, opt := canonPaperConfig(t)
+	base, err := Fingerprint(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(*Config, *Options){
+		"visible mean":  func(c *Config, _ *Options) { c.VisibleMean *= 2 },
+		"latent mean":   func(c *Config, _ *Options) { c.LatentMean *= 2 },
+		"replica count": func(c *Config, _ *Options) { c.Replicas = 3 },
+		"min intact":    func(c *Config, _ *Options) { c.MinIntact = 2 },
+		"scrub":         func(c *Config, _ *Options) { c.Scrub = scrub.Periodic{Interval: 1000} },
+		"scrub offset":  func(c *Config, _ *Options) { c.Scrub = scrub.Periodic{Interval: 2920, Offset: 10} },
+		"repair": func(c *Config, _ *Options) {
+			p, err := repair.Automated(model.PaperMRV*2, model.PaperMRL, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Repair = p
+		},
+		"correlation": func(c *Config, _ *Options) { c.Correlation = faults.AlphaCorrelation{Factor: 0.5} },
+		"correlation model": func(c *Config, _ *Options) {
+			c.Correlation = faults.CompoundingAlpha{Factor: 1}
+		},
+		"shock": func(c *Config, _ *Options) {
+			c.Shocks = []faults.Shock{{Name: "power", Mean: 1e6, Targets: []int{0, 1}, HitProb: 1}}
+		},
+		"audit wear":   func(c *Config, _ *Options) { c.AuditLatentFaultProb = 0.01 },
+		"audit damage": func(c *Config, _ *Options) { c.AuditVisibleFaultProb = 0.01 },
+		"access detect": func(c *Config, _ *Options) {
+			a, err := scrub.NewOnAccess(0.01, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.AccessDetect = a
+		},
+		"spec label": func(c *Config, _ *Options) {
+			c.Specs = c.ReplicaSpecs()
+			c.Specs[0].Label = "site-B"
+		},
+		"trials":  func(_ *Config, o *Options) { o.Trials = 2000 },
+		"seed":    func(_ *Config, o *Options) { o.Seed = 2 },
+		"horizon": func(_ *Config, o *Options) { o.Horizon = 8760 },
+		"level":   func(_ *Config, o *Options) { o.Level = 0.99 },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range mutations {
+		cfg2, opt2 := canonPaperConfig(t)
+		mutate(&cfg2, &opt2)
+		fp, err := Fingerprint(cfg2, opt2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+// Note: "correlation model" above flips AlphaCorrelation{1} vs the
+// default Independent{} — behaviorally identical but a different model
+// type, and the canonical form is allowed (and expected) to distinguish
+// concrete types; only value-equal configurations must collide.
+
+func TestCanonicalRejectsInvalidConfig(t *testing.T) {
+	var cfg Config // no replicas, nil correlation
+	if _, err := Canonical(cfg, Options{Trials: 10}); err == nil {
+		t.Fatal("Canonical accepted an invalid config")
+	}
+}
+
+func TestCanonicalIsSelfDescribing(t *testing.T) {
+	cfg, opt := canonPaperConfig(t)
+	s, err := Canonical(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sim.Config/v1", "sim.Options/v1", "scrub.Periodic", "repair.Policy",
+		"faults.Independent", "trials:1000", "seed:1", "level:0.95",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("canonical form missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConfigMismatchErrorsAreClear(t *testing.T) {
+	cfg, _ := canonPaperConfig(t)
+	cfg.Specs = cfg.ReplicaSpecs()
+	cfg.Replicas = 3 // but len(Specs) == 2
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a Specs/Replicas length mismatch")
+	}
+	if !strings.Contains(err.Error(), "2 specs for 3 replicas") {
+		t.Errorf("mismatch error %q does not state both counts", err)
+	}
+}

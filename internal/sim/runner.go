@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -114,6 +115,16 @@ func (r *Runner) RunTrial(seed, index uint64, horizon float64) TrialResult {
 
 // Estimate runs opt.Trials independent trials and aggregates them.
 func (r *Runner) Estimate(opt Options) (Estimate, error) {
+	return r.EstimateContext(context.Background(), opt)
+}
+
+// EstimateContext is Estimate with cooperative cancellation: workers
+// check ctx between trials, so a cancelled or timed-out run returns
+// ctx's error promptly instead of completing the full trial budget.
+// Results are identical to Estimate's for any run that completes —
+// cancellation never changes the trial-to-stream mapping, only whether
+// the run finishes.
+func (r *Runner) EstimateContext(ctx context.Context, opt Options) (Estimate, error) {
 	opt = opt.withDefaults()
 	if opt.Trials < 2 {
 		return Estimate{}, fmt.Errorf("%w: %d trials, need >= 2", ErrInvalidConfig, opt.Trials)
@@ -132,16 +143,25 @@ func (r *Runner) Estimate(opt Options) (Estimate, error) {
 		next <- i
 	}
 	close(next)
+	done := ctx.Done()
 	for w := 0; w < opt.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				results[i] = r.RunTrial(opt.Seed, uint64(i), opt.Horizon)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, fmt.Errorf("sim: estimation aborted: %w", err)
+	}
 
 	return aggregate(results, opt)
 }

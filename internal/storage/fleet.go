@@ -144,6 +144,35 @@ func OfflineSpec(m Media, visibleMean, latentMean, auditsPerYear float64) Spec {
 	}
 }
 
+// TierSpec resolves a named storage tier into a Spec at the given audit
+// frequency: the shared vocabulary behind `ltsim -replica consumer` and
+// the daemon's {"tier": "consumer"} fleet entries, defined once so CLI
+// and service agree on what a tier means (and hence on cache keys).
+//
+//	consumer    the §6.1 Barracuda-class drive
+//	enterprise  the §6.1 Cheetah-class drive
+//	tape        an offline shelf: 3× consumer fault means (shelved media
+//	            dodge in-service wear), handling-scale repairs, audited
+//	            once a year regardless of scrubsPerYear
+//
+// ok is false for an unknown name; TierNames lists the valid ones.
+func TierSpec(name string, scrubsPerYear float64) (Spec, bool) {
+	switch name {
+	case "consumer":
+		return DiskSpec(Barracuda200(), scrubsPerYear), true
+	case "enterprise":
+		return DiskSpec(Cheetah146(), scrubsPerYear), true
+	case "tape":
+		d := Barracuda200()
+		shelf := TapeShelf(200, 80, 24, 0.001, 0.001, 15)
+		return OfflineSpec(shelf, 3*d.MTTFHours(), 3*d.MTTFHours()/model.SchwarzLatentFactor, 1), true
+	}
+	return Spec{}, false
+}
+
+// TierNames returns the names TierSpec accepts, for error messages.
+func TierNames() []string { return []string{"consumer", "enterprise", "tape"} }
+
 // FleetConfig assembles a heterogeneous-fleet simulator configuration
 // from named storage specs: one replica per spec, independent replicas
 // by default (set Correlation afterwards for the §5.3 α models).

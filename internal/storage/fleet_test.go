@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/model"
@@ -130,5 +132,43 @@ func TestFleetConfigEndToEnd(t *testing.T) {
 	}
 	if est.Trials != 50 {
 		t.Errorf("ran %d trials, want 50", est.Trials)
+	}
+}
+
+func TestTierSpec(t *testing.T) {
+	for _, name := range TierNames() {
+		s, ok := TierSpec(name, 12)
+		if !ok {
+			t.Fatalf("TierSpec(%q) not found despite being in TierNames", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("tier %q spec invalid: %v", name, err)
+		}
+		if _, err := s.ReplicaSpec(); err != nil {
+			t.Errorf("tier %q does not bridge: %v", name, err)
+		}
+	}
+	if s, ok := TierSpec("consumer", 12); !ok || s.ScrubsPerYear != 12 {
+		t.Errorf("consumer tier scrubs = %v, want the given 12", s.ScrubsPerYear)
+	}
+	// Tape audits on its own yearly schedule regardless of the default.
+	if s, ok := TierSpec("tape", 12); !ok || s.ScrubsPerYear != 1 {
+		t.Errorf("tape tier scrubs = %v, want 1", s.ScrubsPerYear)
+	}
+	if _, ok := TierSpec("floppy", 12); ok {
+		t.Error("TierSpec accepted an unknown tier name")
+	}
+}
+
+func TestFleetConfigZeroSpecsErrorIsClear(t *testing.T) {
+	_, err := FleetConfig()
+	if err == nil {
+		t.Fatal("FleetConfig accepted a zero-drive fleet")
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero-drive error %v does not wrap storage.ErrInvalid", err)
+	}
+	if !strings.Contains(err.Error(), "at least one") {
+		t.Errorf("zero-drive error %q does not explain the requirement", err)
 	}
 }

@@ -40,6 +40,31 @@
 //		repro.OfflineStorageSpec(tapeShelf, 2e6, 4e5, 1),
 //	)
 //	r, _ = repro.NewRunner(fleet)
+//
+// # The ltsimd simulation service
+//
+// For repeated what-if queries, cmd/ltsimd serves the estimator as a
+// long-running daemon: every request is canonicalized into a
+// deterministic cache key (SimFingerprint — scalar shorthand and the
+// expanded Specs form of the same fleet hash identically, and worker
+// count is excluded), repeat queries replay the exact bytes of the first
+// answer from a bounded LRU, and cache misses run on a sharded worker
+// pool with per-job timeouts and graceful drain on shutdown.
+//
+//	ltsimd -addr :8356 &
+//	curl -s -X POST localhost:8356/estimate -d '{"alpha":0.1,"trials":2000}'
+//	curl -s -X POST localhost:8356/sweep \
+//	    -d '{"requests":[{"replicas":2},{"replicas":3}]}'   # NDJSON stream
+//	curl -s localhost:8356/experiments                      # registry index
+//	curl -s localhost:8356/stats                            # hit rate, queue
+//	ltsim -server http://localhost:8356 -alpha 0.1          # CLI as client
+//
+// Determinism makes the cache sound: the same seed, config, and trial
+// count reproduce results exactly (regardless of parallelism), so a
+// cache hit is bit-identical to recomputation. `ltsim -json` emits the
+// same EstimateJSON encoding the daemon serves, so local and remote
+// outputs are byte-comparable. Embed the service in another process with
+// NewSimService.
 package repro
 
 import (
@@ -51,7 +76,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/repair"
 	"repro/internal/replica"
+	"repro/internal/report"
 	"repro/internal/scrub"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/threat"
@@ -269,6 +296,61 @@ func OfflineStorageSpec(m Media, visibleMean, latentMean, auditsPerYear float64)
 // storage specs: one replica per spec, independent replicas by default.
 func FleetConfig(specs ...StorageSpec) (SimConfig, error) {
 	return storage.FleetConfig(specs...)
+}
+
+// StorageTierSpec resolves a named storage tier ("consumer",
+// "enterprise", "tape") into a StorageSpec at the given audit frequency
+// — the shared vocabulary behind `ltsim -replica consumer` and the
+// daemon's {"tier": "consumer"} fleet entries.
+func StorageTierSpec(name string, scrubsPerYear float64) (StorageSpec, bool) {
+	return storage.TierSpec(name, scrubsPerYear)
+}
+
+// ---- Simulation service (cmd/ltsimd) ----
+
+// SimCanonical serializes a validated SimConfig + SimOptions pair into
+// its deterministic canonical string: scalar shorthand and the expanded
+// Specs form of the same fleet serialize identically, and fields that do
+// not shape results (worker count) are excluded.
+func SimCanonical(cfg SimConfig, opt SimOptions) (string, error) {
+	return sim.Canonical(cfg, opt)
+}
+
+// SimFingerprint returns the hex SHA-256 of SimCanonical — the
+// content-addressed cache key the ltsimd daemon uses.
+func SimFingerprint(cfg SimConfig, opt SimOptions) (string, error) {
+	return sim.Fingerprint(cfg, opt)
+}
+
+// SimService is the embeddable simulation service behind cmd/ltsimd:
+// canonical request hashing, a bounded content-addressed result cache,
+// and a sharded worker-pool scheduler, exposed over HTTP.
+type SimService = service.Service
+
+// SimServiceConfig sizes a SimService.
+type SimServiceConfig = service.Config
+
+// NewSimService returns a started service; serve its Handler and stop it
+// with Shutdown.
+func NewSimService(cfg SimServiceConfig) *SimService { return service.New(cfg) }
+
+// ServiceEstimateRequest is one estimation query on the daemon's wire:
+// the uniform-fleet shorthand or an explicit fleet, plus Monte Carlo
+// options, with the same defaults as cmd/ltsim's flags.
+type ServiceEstimateRequest = service.EstimateRequest
+
+// ServiceFleetEntry is one replica of a fleet on the wire: a named tier
+// or explicit StorageSpec numbers.
+type ServiceFleetEntry = service.FleetEntry
+
+// EstimateJSON is the canonical machine-readable encoding of an
+// Estimate, shared by `ltsim -json` and the daemon (so their outputs are
+// byte-comparable).
+type EstimateJSON = report.EstimateJSON
+
+// NewEstimateJSON converts an estimate to its wire encoding.
+func NewEstimateJSON(est Estimate, horizonHours float64) EstimateJSON {
+	return report.NewEstimateJSON(est, horizonHours)
 }
 
 // CostPlan describes a preservation system for costing.
