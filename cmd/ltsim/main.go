@@ -20,13 +20,26 @@
 // -mrl, -replicas, and -repair-bug are ignored; -alpha, -audit-wear,
 // -trials, -horizon, and -seed apply.
 //
+// Instead of a fixed -trials budget, -target-rel runs the simulation
+// adaptively: it stops at the first deterministic batch boundary where
+// the relevant confidence interval's relative half-width reaches the
+// target (the loss-probability interval under a -horizon, else the
+// MTTDL interval), bounded by -max-trials. Adaptive results depend only
+// on (config, seed, target, cap, batch size) — never on worker count.
+// -progress reports live snapshots on stderr while any run executes:
+//
+//	ltsim -target-rel 0.05 -horizon 50 -progress
+//	ltsim -target-rel 0.02 -max-trials 200000 -trials 5000
+//
 // Two flags connect the CLI to the ltsimd daemon:
 //
 //	-json        emit the machine-readable estimate (the exact encoding
 //	             the daemon serves) instead of text tables
 //	-server URL  send the request to a running ltsimd instead of
 //	             simulating locally; the response body (always JSON) is
-//	             printed and the cache disposition goes to stderr
+//	             printed and the cache disposition goes to stderr. With
+//	             -progress the daemon streams NDJSON frames: progress
+//	             renders on stderr, the final result on stdout
 //
 // Local -json output and a daemon response for the same flags are
 // byte-identical: both build the same sim.Config through the same
@@ -34,8 +47,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +60,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/model"
@@ -56,20 +73,23 @@ import (
 func main() {
 	var replicaFlags []string
 	var (
-		mv      = flag.Float64("mv", model.PaperMV, "per-replica mean time to visible fault, hours")
-		ml      = flag.Float64("ml", model.PaperML, "per-replica mean time to latent fault, hours (inf = none)")
-		mrv     = flag.Float64("mrv", model.PaperMRV, "visible repair time, hours")
-		mrl     = flag.Float64("mrl", model.PaperMRL, "latent repair time, hours")
-		scrubs  = flag.Float64("scrubs-per-year", 3, "periodic audit frequency (0 = never)")
-		alpha   = flag.Float64("alpha", 1, "correlation factor in (0,1]")
-		reps    = flag.Int("replicas", 2, "replica count (uniform fleet)")
-		trials  = flag.Int("trials", 1000, "Monte Carlo trials")
-		horizon = flag.Float64("horizon", 0, "censoring horizon in years (0 = run every trial to loss)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		bug     = flag.Float64("repair-bug", 0, "probability a repair plants a latent fault (§6.6)")
-		wear    = flag.Float64("audit-wear", 0, "probability an audit pass plants a latent fault (§6.6)")
-		asJSON  = flag.Bool("json", false, "emit the machine-readable estimate JSON instead of tables")
-		server  = flag.String("server", "", "base URL of a running ltsimd (e.g. http://localhost:8356); query it instead of simulating locally")
+		mv        = flag.Float64("mv", model.PaperMV, "per-replica mean time to visible fault, hours")
+		ml        = flag.Float64("ml", model.PaperML, "per-replica mean time to latent fault, hours (inf = none)")
+		mrv       = flag.Float64("mrv", model.PaperMRV, "visible repair time, hours")
+		mrl       = flag.Float64("mrl", model.PaperMRL, "latent repair time, hours")
+		scrubs    = flag.Float64("scrubs-per-year", 3, "periodic audit frequency (0 = never)")
+		alpha     = flag.Float64("alpha", 1, "correlation factor in (0,1]")
+		reps      = flag.Int("replicas", 2, "replica count (uniform fleet)")
+		trials    = flag.Int("trials", 1000, "Monte Carlo trials")
+		horizon   = flag.Float64("horizon", 0, "censoring horizon in years (0 = run every trial to loss)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		bug       = flag.Float64("repair-bug", 0, "probability a repair plants a latent fault (§6.6)")
+		wear      = flag.Float64("audit-wear", 0, "probability an audit pass plants a latent fault (§6.6)")
+		asJSON    = flag.Bool("json", false, "emit the machine-readable estimate JSON instead of tables")
+		server    = flag.String("server", "", "base URL of a running ltsimd (e.g. http://localhost:8356); query it instead of simulating locally")
+		targetRel = flag.Float64("target-rel", 0, "adaptive mode: stop when the CI relative half-width reaches this target (0 = fixed -trials budget)")
+		maxTrials = flag.Int("max-trials", 0, "adaptive trial cap (0 = the simulator's default); only with -target-rel")
+		progress  = flag.Bool("progress", false, "report live progress on stderr while the run executes")
 	)
 	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
 		replicaFlags = append(replicaFlags, v)
@@ -77,12 +97,26 @@ func main() {
 	})
 	flag.Parse()
 
+	// In adaptive mode an untouched -trials default must not become a
+	// 1000-trial floor: only an explicit -trials sets the minimum.
+	trialsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trials" {
+			trialsSet = true
+		}
+	})
+	effTrials := *trials
+	if *targetRel > 0 && !trialsSet {
+		effTrials = 0
+	}
+
 	if err := run(config{
 		mv: *mv, ml: *ml, mrv: *mrv, mrl: *mrl,
 		scrubs: *scrubs, alpha: *alpha, replicas: *reps,
-		trials: *trials, horizonYears: *horizon, seed: *seed,
+		trials: effTrials, horizonYears: *horizon, seed: *seed,
 		bug: *bug, wear: *wear, replicaSpecs: replicaFlags,
 		asJSON: *asJSON, server: *server,
+		targetRel: *targetRel, maxTrials: *maxTrials, progress: *progress,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -99,6 +133,9 @@ type config struct {
 	replicaSpecs     []string
 	asJSON           bool
 	server           string
+	targetRel        float64
+	maxTrials        int
+	progress         bool
 }
 
 // parseReplica resolves one -replica flag value into a storage spec.
@@ -148,12 +185,15 @@ func parseReplica(v string, defaultScrubs float64) (storage.Spec, error) {
 // the daemon's cache key).
 func buildRequest(c config) (service.EstimateRequest, error) {
 	req := service.EstimateRequest{
-		Alpha:         c.alpha,
-		AuditWearProb: c.wear,
-		ScrubsPerYear: &c.scrubs,
-		Trials:        c.trials,
-		HorizonYears:  c.horizonYears,
-		Seed:          &c.seed,
+		Alpha:          c.alpha,
+		AuditWearProb:  c.wear,
+		ScrubsPerYear:  &c.scrubs,
+		Trials:         c.trials,
+		HorizonYears:   c.horizonYears,
+		Seed:           &c.seed,
+		TargetRelWidth: c.targetRel,
+		MaxTrials:      c.maxTrials,
+		Progress:       c.progress,
 	}
 	if len(c.replicaSpecs) > 0 {
 		for i, v := range c.replicaSpecs {
@@ -206,7 +246,18 @@ func run(c config) error {
 	if err != nil {
 		return err
 	}
-	est, err := runner.Estimate(opt)
+	var sink func(sim.Progress)
+	if c.progress {
+		var last time.Time
+		sink = func(p sim.Progress) {
+			if !p.Final && !last.IsZero() && time.Since(last) < 250*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			printProgress(p)
+		}
+	}
+	est, err := runner.EstimateStream(context.Background(), opt, sink)
 	if err != nil {
 		return err
 	}
@@ -222,8 +273,26 @@ func run(c config) error {
 	return renderTables(os.Stdout, c, cfg, est)
 }
 
+// printProgress renders one live snapshot on stderr.
+func printProgress(p sim.Progress) {
+	line := fmt.Sprintf("ltsim: %d/%d trials, %d losses, %d censored", p.Trials, p.Budget, p.Losses, p.Censored)
+	if !math.IsInf(p.RelWidth, 1) {
+		line += fmt.Sprintf(", rel width %.3f", p.RelWidth)
+	}
+	if p.TargetRelWidth > 0 {
+		line += fmt.Sprintf(" (target %g)", p.TargetRelWidth)
+	}
+	if p.Final {
+		line += " — done"
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
 // runRemote sends the request to a running ltsimd and relays the JSON
-// response body; the cache disposition header goes to stderr.
+// response body; the cache disposition header goes to stderr. With
+// Progress set the daemon streams NDJSON frames: progress lines render
+// on stderr and the final frame's result — the same bytes a plain
+// request serves — lands on stdout.
 func runRemote(base string, req service.EstimateRequest) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -235,6 +304,9 @@ func runRemote(base string, req service.EstimateRequest) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if req.Progress && resp.StatusCode == http.StatusOK {
+		return relayProgressStream(url, resp)
+	}
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -247,6 +319,46 @@ func runRemote(base string, req service.EstimateRequest) error {
 	}
 	_, err = os.Stdout.Write(payload)
 	return err
+}
+
+// relayProgressStream consumes an NDJSON /estimate progress stream.
+func relayProgressStream(url string, resp *http.Response) error {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawFinal := false
+	for sc.Scan() {
+		var f service.EstimateFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return fmt.Errorf("bad stream frame %q: %v", sc.Text(), err)
+		}
+		switch {
+		case f.Error != "":
+			return fmt.Errorf("server error: %s", f.Error)
+		case f.Final:
+			fmt.Fprintf(os.Stderr, "ltsim: served from %s (%s)\n", url, f.Cache)
+			if _, err := os.Stdout.Write(append(f.Result, '\n')); err != nil {
+				return err
+			}
+			sawFinal = true
+		case f.Progress != nil:
+			p := f.Progress
+			line := fmt.Sprintf("ltsim: %d/%d trials, %d losses, %d censored", p.Trials, p.Budget, p.Losses, p.Censored)
+			if p.RelWidth != nil {
+				line += fmt.Sprintf(", rel width %.3f", *p.RelWidth)
+			}
+			if p.Target > 0 {
+				line += fmt.Sprintf(" (target %g)", p.Target)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawFinal {
+		return errors.New("stream ended without a final frame")
+	}
+	return nil
 }
 
 // renderTables draws the human-readable report of a local run.

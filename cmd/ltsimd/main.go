@@ -39,15 +39,19 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job simulation timeout")
 		parallel   = flag.Int("sim-parallel", 0, "simulator workers per job (0 = GOMAXPROCS/shards)")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for queued and in-flight jobs")
+		targetRel  = flag.Float64("target-rel", 0, "server-wide adaptive default: requests with no trial budget and no target of their own stop at this relative CI half-width (0 = off)")
+		maxTrials  = flag.Int("max-trials", 0, "clamp every request's trial budget, fixed or adaptive (0 = no cap)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *drain, service.Config{
-		CacheSize:   *cacheSize,
-		Shards:      *shards,
-		QueueDepth:  *queueDepth,
-		JobTimeout:  *jobTimeout,
-		SimParallel: *parallel,
+		CacheSize:        *cacheSize,
+		Shards:           *shards,
+		QueueDepth:       *queueDepth,
+		JobTimeout:       *jobTimeout,
+		SimParallel:      *parallel,
+		DefaultTargetRel: *targetRel,
+		MaxTrialsCap:     *maxTrials,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsimd:", err)
 		os.Exit(1)

@@ -64,6 +64,12 @@ type Engine struct {
 
 	// Fired counts handler invocations, for tests and run statistics.
 	fired uint64
+
+	// free recycles Handles across Reset boundaries: events still
+	// pending when a simulation ends are the common case in censored
+	// reliability runs (a fault arrival far beyond the horizon), and
+	// without recycling every such event costs one allocation per run.
+	free []*Handle
 }
 
 // Now returns the current simulation time.
@@ -90,7 +96,15 @@ func (e *Engine) Schedule(at Time, fn Handler) *Handle {
 	if fn == nil {
 		panic("des: Schedule with nil handler")
 	}
-	h := &Handle{at: at, seq: e.seq, fn: fn}
+	var h *Handle
+	if n := len(e.free); n > 0 {
+		h = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*h = Handle{at: at, seq: e.seq, fn: fn}
+	} else {
+		h = &Handle{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, h)
 	return h
@@ -149,6 +163,32 @@ func (e *Engine) RunUntil(horizon Time) {
 	if !e.stopped && e.now < horizon {
 		e.now = horizon
 	}
+}
+
+// Reset returns the engine to its zero state — time 0, empty queue,
+// sequence counter 0 — while keeping the queue's backing array and
+// recycling still-queued Handles, so a worker can run millions of short
+// simulations on one Engine with almost no per-run allocation.
+//
+// Recycling makes Reset a hard ownership boundary: every *Handle handed
+// out before the call may be reused by a later Schedule, so callers must
+// drop all Handle references when they Reset (the simulator's per-trial
+// reset does exactly that before arming anything). Handles that already
+// fired are not recycled — callers routinely keep pointers to those
+// within a run and Cancel them defensively.
+func (e *Engine) Reset() {
+	for i, h := range e.queue {
+		h.index = -1
+		h.fn = nil
+		h.cancelled = false
+		e.free = append(e.free, h)
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.fired = 0
 }
 
 // Stop halts Run/RunUntil after the current handler returns. The queue is

@@ -98,15 +98,16 @@ func runE8(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		trials := cfg.trials(300)
-		est, err := runner.Estimate(sim.Options{Trials: trials, Seed: cfg.Seed})
+		// Precision-targeted: stop once the MTTDL interval is within 8%,
+		// capped at the historical 300-trial budget.
+		est, err := runner.Estimate(cfg.adaptiveOptions(300, 0.08))
 		if err != nil {
 			return nil, err
 		}
 		cmp.MustAddRow(pl.label,
 			model.Years(est.MTTDL.Point),
 			pl.auditsPerYear*pl.media.AuditCost,
-			float64(est.Stats.AuditInduced)/float64(trials)*1000)
+			float64(est.Stats.AuditInduced)/float64(est.Trials)*1000)
 	}
 	res.Tables = append(res.Tables, cmp)
 	res.addNote("tape audits cost ~$%.0f per pass against ~$0 for disk, and each handling cycle risks faults (%.1f%% visible, %.2f%% wear) — §6.2's double penalty",

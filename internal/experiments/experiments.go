@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 // RunConfig scales an experiment run.
@@ -35,6 +36,36 @@ func (c RunConfig) trials(full int) int {
 		return q
 	}
 	return full
+}
+
+// adaptiveOptions returns precision-targeted Monte Carlo options for one
+// sweep cell: the run stops at the first batch boundary where the
+// relevant interval's relative half-width reaches targetRel, bounded by
+// the cell's historical budget (scaled down in Quick mode, so sweeps are
+// never slower than their fixed-budget ancestors) and floored at a tenth
+// of it so an early boundary cannot stop on a fluke. Adaptive runs are
+// deterministic in (Seed, target, budget, batch size), so experiment
+// output stays reproducible.
+func (c RunConfig) adaptiveOptions(full int, targetRel float64) sim.Options {
+	return adaptiveSweepOptions(c.Seed, c.trials(full), targetRel)
+}
+
+// adaptiveSweepOptions is adaptiveOptions over a pre-scaled budget, for
+// call sites that already applied RunConfig.trials.
+func adaptiveSweepOptions(seed uint64, budget int, targetRel float64) sim.Options {
+	floor := budget / 10
+	if floor < 60 {
+		floor = 60
+	}
+	if floor > budget {
+		floor = budget
+	}
+	return sim.Options{
+		Seed:           seed,
+		Trials:         floor,
+		MaxTrials:      budget,
+		TargetRelWidth: targetRel,
+	}
 }
 
 // Result is an experiment's rendered output.

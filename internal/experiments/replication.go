@@ -143,14 +143,15 @@ func replicationShapeMC(cfg RunConfig) (*replicationMC, error) {
 	}, nil
 }
 
-// estimateMTTDL runs a quick run-to-loss estimate and returns the point
-// value.
+// estimateMTTDL runs a precision-targeted run-to-loss estimate (8%
+// relative CI half-width, capped at the historical trial budget) and
+// returns the point value.
 func estimateMTTDL(c sim.Config, cfg RunConfig, trials int) (float64, error) {
 	runner, err := sim.NewRunner(c)
 	if err != nil {
 		return 0, err
 	}
-	est, err := runner.Estimate(sim.Options{Trials: trials, Seed: cfg.Seed})
+	est, err := runner.Estimate(adaptiveSweepOptions(cfg.Seed, trials, 0.08))
 	if err != nil {
 		return 0, err
 	}

@@ -45,9 +45,10 @@ func runE9(cfg RunConfig) (*Result, error) {
 		{"correlated alpha=0.1", 1000, 1e8, 10, 10, 100, 0.1, 2500},
 		{"latent, slow audit", 1e7, 2000, 5, 5, 1000, 1, 2000},
 	}
-	tbl := report.NewTable("Simulated vs closed-form MTTDL (hours); model = clamped eq 7 / 2",
-		"scenario", "sim MTTDL", "sim 95% CI half-width", "model/2", "sim ÷ (model/2)", "patterson/2")
+	tbl := report.NewTable("Simulated vs closed-form MTTDL (hours); model = clamped eq 7 / 2; runs stop at 4% CI half-width",
+		"scenario", "trials", "sim MTTDL", "sim 95% CI half-width", "model/2", "sim ÷ (model/2)", "patterson/2")
 	worst := 0.0
+	saved := 0
 	for _, g := range grid {
 		rep, err := repair.Automated(g.mrv, g.mrl, 0)
 		if err != nil {
@@ -77,22 +78,27 @@ func runE9(cfg RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		est, err := runner.Estimate(sim.Options{Trials: cfg.trials(g.trials), Seed: cfg.Seed})
+		// Precision-targeted: each cell runs until its MTTDL interval is
+		// tight enough to judge the model, instead of burning a fixed
+		// budget on easy cells.
+		est, err := runner.Estimate(cfg.adaptiveOptions(g.trials, 0.04))
 		if err != nil {
 			return nil, err
 		}
+		saved += cfg.trials(g.trials) - est.Trials
 		adjusted := c.ModelParams().MTTDL() / 2
 		ratio := est.MTTDL.Point / adjusted
 		patterson := baseline.PattersonRAID{
 			DiskMTTF: g.mv, DiskMTTR: g.mrv, TotalDisks: 2, GroupSize: 2,
 		}.MTTDL()
-		tbl.MustAddRow(g.label, est.MTTDL.Point, est.MTTDL.HalfWidth(), adjusted, ratio, patterson)
+		tbl.MustAddRow(g.label, est.Trials, est.MTTDL.Point, est.MTTDL.HalfWidth(), adjusted, ratio, patterson)
 		if d := math.Abs(ratio - 1); d > worst {
 			worst = d
 		}
 	}
 	res.Tables = append(res.Tables, tbl)
 	res.addNote("worst sim/model deviation %.0f%% — within the model's small-window approximations (window dwell time and exponential saturation are the residuals)", worst*100)
+	res.addNote("precision-targeted runs (4%% relative CI half-width) spent %d fewer trials than the fixed grid budget", saved)
 	res.addNote("the Patterson baseline matches only the visible-dominated row; everywhere else it overstates MTTDL because it prices neither latent faults nor correlation (§4, §5)")
 	return res, nil
 }

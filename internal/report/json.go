@@ -54,13 +54,13 @@ type EventCountsJSON struct {
 
 // EstimateJSON is the canonical machine-readable form of a sim.Estimate.
 type EstimateJSON struct {
-	MTTDLHours IntervalJSON  `json:"mttdl_hours"`
-	MTTDLYears IntervalJSON  `json:"mttdl_years"`
-	LossProb   *IntervalJSON `json:"loss_prob,omitempty"`
-	Trials     int           `json:"trials"`
-	Censored   int           `json:"censored"`
+	MTTDLHours IntervalJSON    `json:"mttdl_hours"`
+	MTTDLYears IntervalJSON    `json:"mttdl_years"`
+	LossProb   *IntervalJSON   `json:"loss_prob,omitempty"`
+	Trials     int             `json:"trials"`
+	Censored   int             `json:"censored"`
 	Events     EventCountsJSON `json:"events"`
-	Matrix     []CellJSON    `json:"matrix"`
+	Matrix     []CellJSON      `json:"matrix"`
 }
 
 // NewEstimateJSON converts an estimate. horizonHours > 0 marks the run

@@ -129,19 +129,38 @@ func (s *Source) Bool(p float64) bool {
 // randomness from s, so the parent stream is unperturbed — critical for
 // keeping per-subsystem streams stable as code evolves.
 func (s *Source) Derive(label uint64) *Source {
+	var child Source
+	s.DeriveInto(label, &child)
+	return &child
+}
+
+// DeriveInto reseeds into with exactly the stream Derive(label) would
+// return, without allocating. Hot loops (the simulator re-seeds a
+// worker-local trial once per Monte Carlo trial) use it to reuse one
+// Source per subsystem across millions of derivations.
+func (s *Source) DeriveInto(label uint64, into *Source) {
 	// Mix the stable identity of s (not its evolving state) with the
 	// label through SplitMix64, keeping Derive(label) stable regardless
 	// of how many draws s has made.
 	st := s.id ^ rotl(label, 13) ^ (label * 0x9e3779b97f4a7c15)
-	var child Source
-	child.reseed(splitmix64(&st))
-	return &child
+	into.reseed(splitmix64(&st))
 }
 
 // DeriveString is Derive with a string label, for callers that identify
 // subsystems by name ("faults/visible", "scrub", ...).
 func (s *Source) DeriveString(label string) *Source {
-	// FNV-1a; inlined to keep the package dependency-free.
+	return s.Derive(stringLabel(label))
+}
+
+// DeriveStringInto is DeriveString with the allocation-free contract of
+// DeriveInto.
+func (s *Source) DeriveStringInto(label string, into *Source) {
+	s.DeriveInto(stringLabel(label), into)
+}
+
+// stringLabel hashes a string label for Derive. FNV-1a; inlined to keep
+// the package dependency-free.
+func stringLabel(label string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -151,7 +170,7 @@ func (s *Source) DeriveString(label string) *Source {
 		h ^= uint64(label[i])
 		h *= prime64
 	}
-	return s.Derive(h)
+	return h
 }
 
 // Shuffle pseudo-randomly permutes the n elements addressed by swap.

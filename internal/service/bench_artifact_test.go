@@ -15,17 +15,17 @@ import (
 // sweep replayed from cache, the seed measurement of the service's perf
 // trajectory.
 type BenchArtifact struct {
-	Bench          string  `json:"bench"`
-	SweepConfigs   int     `json:"sweep_configs"`
-	TrialsPerItem  int     `json:"trials_per_item"`
-	ColdMS         int64   `json:"cold_ms"`
-	WarmMS         int64   `json:"warm_ms"`
-	Speedup        float64 `json:"speedup"`
-	WarmCacheHits  int     `json:"warm_cache_hits"`
-	WarmHitRate    float64 `json:"warm_hit_rate"`
-	BitIdentical   bool    `json:"bit_identical"`
-	GoMaxProcs     int     `json:"gomaxprocs"`
-	SchedulerShards int    `json:"scheduler_shards"`
+	Bench           string  `json:"bench"`
+	SweepConfigs    int     `json:"sweep_configs"`
+	TrialsPerItem   int     `json:"trials_per_item"`
+	ColdMS          int64   `json:"cold_ms"`
+	WarmMS          int64   `json:"warm_ms"`
+	Speedup         float64 `json:"speedup"`
+	WarmCacheHits   int     `json:"warm_cache_hits"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+	BitIdentical    bool    `json:"bit_identical"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	SchedulerShards int     `json:"scheduler_shards"`
 }
 
 // TestBenchArtifact measures estimate latency cold vs. cache-hit over

@@ -20,14 +20,14 @@ import (
 // mean disables that fault channel; a custom entry that omits
 // latent_mean_hours has no latent channel at all.
 type FleetEntry struct {
-	Tier              string  `json:"tier,omitempty"`
-	Label             string  `json:"label,omitempty"`
-	VisibleMeanHours  float64 `json:"visible_mean_hours,omitempty"`
-	LatentMeanHours   float64 `json:"latent_mean_hours,omitempty"`
+	Tier             string  `json:"tier,omitempty"`
+	Label            string  `json:"label,omitempty"`
+	VisibleMeanHours float64 `json:"visible_mean_hours,omitempty"`
+	LatentMeanHours  float64 `json:"latent_mean_hours,omitempty"`
 	// ScrubsPerYear: 0 means "keep the tier's frequency" (or never, for
 	// a custom entry); negative means explicitly never audited — the
 	// escape hatch for overriding a tier back to zero.
-	ScrubsPerYear float64 `json:"scrubs_per_year,omitempty"`
+	ScrubsPerYear     float64 `json:"scrubs_per_year,omitempty"`
 	ScrubOffsetHours  float64 `json:"scrub_offset_hours,omitempty"`
 	RepairHours       float64 `json:"repair_hours,omitempty"`
 	AccessRatePerHour float64 `json:"access_rate_per_hour,omitempty"`
@@ -108,6 +108,11 @@ func (e FleetEntry) spec(defaultScrubs float64) (storage.Spec, error) {
 	return s, nil
 }
 
+// defaultTrials is the wire default Monte Carlo budget for fixed-trial
+// requests that omit "trials" — shared by Build and the daemon policy
+// clamp so both agree on what a budget-less request means.
+const defaultTrials = 1000
+
 // EstimateRequest is one estimation query: the uniform-fleet shorthand
 // (mirroring cmd/ltsim's flags and their defaults) or an explicit Fleet,
 // plus the Monte Carlo options that shape the result. Omitted fields take
@@ -144,7 +149,9 @@ type EstimateRequest struct {
 	// entry per replica.
 	Fleet []FleetEntry `json:"fleet,omitempty"`
 
-	// Trials is the Monte Carlo budget (default 1000).
+	// Trials is the Monte Carlo budget (default 1000). When
+	// TargetRelWidth is set it is instead the adaptive run's minimum
+	// trial count and defaults to 0 (the simulator's floor).
 	Trials int `json:"trials,omitempty"`
 	// HorizonYears censors trials (0 = run each to loss).
 	HorizonYears float64 `json:"horizon_years,omitempty"`
@@ -153,6 +160,23 @@ type EstimateRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Level is the confidence level in (0,1); 0 means 0.95.
 	Level float64 `json:"level,omitempty"`
+
+	// TargetRelWidth, when positive, makes the run adaptive: it stops at
+	// the first batch boundary where the stopping interval's relative
+	// half-width reaches the target (see sim.Options.TargetRelWidth).
+	// Adaptive results are deterministic and cacheable: the stopping
+	// rule joins the canonical key, the realized trial count does not.
+	TargetRelWidth float64 `json:"target_rel_width,omitempty"`
+	// MaxTrials caps an adaptive run (0 = the simulator's 1<<20
+	// default). Ignored for fixed-trial runs.
+	MaxTrials int `json:"max_trials,omitempty"`
+
+	// Progress asks /estimate to stream NDJSON progress frames followed
+	// by the final result frame, instead of a single JSON body. It is
+	// transport, not configuration: it does not shape the result and is
+	// excluded from the canonical key, so a progress-streamed run and a
+	// plain run of the same request share one cache entry.
+	Progress bool `json:"progress,omitempty"`
 }
 
 // Build assembles the simulator configuration and options the request
@@ -243,18 +267,20 @@ func (r EstimateRequest) Build() (sim.Config, sim.Options, error) {
 	cfg.AuditLatentFaultProb = r.AuditWearProb
 
 	trials := r.Trials
-	if trials == 0 {
-		trials = 1000
+	if trials == 0 && r.TargetRelWidth == 0 {
+		trials = defaultTrials
 	}
 	var seed uint64 = 1
 	if r.Seed != nil {
 		seed = *r.Seed
 	}
 	opt := sim.Options{
-		Trials:  trials,
-		Horizon: model.YearsToHours(r.HorizonYears),
-		Seed:    seed,
-		Level:   r.Level,
+		Trials:         trials,
+		Horizon:        model.YearsToHours(r.HorizonYears),
+		Seed:           seed,
+		Level:          r.Level,
+		TargetRelWidth: r.TargetRelWidth,
+		MaxTrials:      r.MaxTrials,
 	}
 	return cfg, opt, nil
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,17 +26,29 @@ type Service struct {
 	sched *scheduler
 	mux   *http.ServeMux
 	start time.Time
+	// progressSem bounds concurrently-running progress-streamed
+	// simulations. Progress runs execute outside the shard queue, so
+	// this capacity is additive to the scheduler's: at most Shards extra
+	// simulations on top of the Shards queued ones, never unbounded.
+	progressSem chan struct{}
+	// progressMu/progressInflight single-flight progress runs by
+	// canonical key: concurrent duplicates wait for the owner and replay
+	// its cached result instead of recomputing.
+	progressMu       sync.Mutex
+	progressInflight map[string]chan struct{}
 }
 
 // New returns a started service (its scheduler workers are running).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheSize),
-		sched: newScheduler(cfg.Shards, cfg.QueueDepth, cfg.JobTimeout),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:              cfg,
+		cache:            newResultCache(cfg.CacheSize),
+		sched:            newScheduler(cfg.Shards, cfg.QueueDepth, cfg.JobTimeout),
+		mux:              http.NewServeMux(),
+		start:            time.Now(),
+		progressSem:      make(chan struct{}, cfg.Shards),
+		progressInflight: make(map[string]chan struct{}),
 	}
 	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
@@ -72,15 +86,53 @@ func submitStatus(err error) int {
 	}
 }
 
+// applyPolicy folds the daemon-level request policy into a request
+// before it is built and fingerprinted, so the effective (and cached)
+// configuration is the policy-adjusted one: DefaultTargetRel turns
+// budget-less requests adaptive, MaxTrialsCap clamps every trial budget.
+func (s *Service) applyPolicy(req EstimateRequest) EstimateRequest {
+	if s.cfg.DefaultTargetRel > 0 && req.Trials == 0 && req.TargetRelWidth == 0 {
+		req.TargetRelWidth = s.cfg.DefaultTargetRel
+	}
+	if cap := s.cfg.MaxTrialsCap; cap > 0 {
+		if req.TargetRelWidth > 0 {
+			if req.MaxTrials == 0 || req.MaxTrials > cap {
+				req.MaxTrials = cap
+			}
+			if req.Trials > cap {
+				req.Trials = cap
+			}
+		} else {
+			if req.Trials == 0 {
+				req.Trials = defaultTrials // make the wire default explicit before clamping
+			}
+			if req.Trials > cap {
+				req.Trials = cap
+			}
+		}
+	}
+	return req
+}
+
+// resolved applies policy, builds, and fingerprints one request.
+func (s *Service) resolved(req EstimateRequest) (string, sim.Config, sim.Options, error) {
+	req = s.applyPolicy(req)
+	cfg, opt, err := req.Build()
+	if err != nil {
+		return "", sim.Config{}, sim.Options{}, err
+	}
+	opt.Parallel = s.cfg.SimParallel
+	key, err := sim.Fingerprint(cfg, opt)
+	if err != nil {
+		return "", sim.Config{}, sim.Options{}, err
+	}
+	return key, cfg, opt, nil
+}
+
 // resolve fingerprints one request and returns the compute closure that
 // produces (and caches) its encoded result.
 func (s *Service) resolve(req EstimateRequest) (key string, compute func(context.Context) ([]byte, error), err error) {
-	cfg, opt, err := req.Build()
-	if err != nil {
-		return "", nil, err
-	}
-	opt.Parallel = s.cfg.SimParallel
-	key, err = sim.Fingerprint(cfg, opt)
+	key, cfg, opt, err := s.resolved(req)
 	if err != nil {
 		return "", nil, err
 	}
@@ -113,6 +165,10 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	if req.Progress {
+		s.streamEstimate(w, r, req)
+		return
+	}
 	key, compute, err := s.resolve(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -132,6 +188,171 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Ltsimd-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
 	w.Write(body)
 	w.Write([]byte("\n"))
+}
+
+// ProgressJSON is a sim.Progress snapshot on the wire. RelWidth is
+// omitted while the stopping criterion is not yet estimable (JSON cannot
+// carry +Inf).
+type ProgressJSON struct {
+	Trials   int                  `json:"trials"`
+	Budget   int                  `json:"budget"`
+	Batches  int                  `json:"batches"`
+	Losses   int                  `json:"losses"`
+	Censored int                  `json:"censored"`
+	MTTDL    *report.IntervalJSON `json:"mttdl_hours,omitempty"`
+	LossProb *report.IntervalJSON `json:"loss_prob,omitempty"`
+	RelWidth *float64             `json:"rel_width,omitempty"`
+	Target   float64              `json:"target_rel_width,omitempty"`
+}
+
+// newProgressJSON converts a snapshot.
+func newProgressJSON(p sim.Progress) *ProgressJSON {
+	out := &ProgressJSON{
+		Trials:   p.Trials,
+		Budget:   p.Budget,
+		Batches:  p.Batches,
+		Losses:   p.Losses,
+		Censored: p.Censored,
+		Target:   p.TargetRelWidth,
+	}
+	if !math.IsInf(p.RelWidth, 1) {
+		rw := p.RelWidth
+		out.RelWidth = &rw
+	}
+	if p.MTTDL.Level != 0 {
+		iv := report.NewIntervalJSON(p.MTTDL)
+		out.MTTDL = &iv
+	}
+	if p.LossProb.Level != 0 {
+		iv := report.NewIntervalJSON(p.LossProb)
+		out.LossProb = &iv
+	}
+	return out
+}
+
+// EstimateFrame is one NDJSON line of a progress-streamed estimate:
+// either a progress snapshot, the final frame carrying the canonical
+// result bytes (identical to the plain /estimate body, and to what the
+// cache replays), or an error.
+type EstimateFrame struct {
+	Progress *ProgressJSON   `json:"progress,omitempty"`
+	Final    bool            `json:"final,omitempty"`
+	Key      string          `json:"key,omitempty"`
+	Cache    string          `json:"cache,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// writeFinalFrame serves a cached result as a one-frame NDJSON stream.
+func (s *Service) writeFinalFrame(w http.ResponseWriter, key string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Ltsimd-Key", key)
+	h.Set("X-Ltsimd-Cache", "hit")
+	json.NewEncoder(w).Encode(EstimateFrame{Final: true, Key: key, Cache: "hit", Result: body})
+}
+
+// streamEstimate serves one estimate as an NDJSON stream: progress
+// frames at batch boundaries (throttled), then a final frame with the
+// canonical result body. A cache hit skips straight to the final frame.
+// Progress runs execute on the request goroutine under the per-job
+// timeout rather than on the shard queue — a queued job could not emit
+// frames while it waits — but they are still disciplined: duplicates of
+// an in-flight key coalesce onto the owner's result, at most Shards
+// progress simulations run at once (additively to the scheduler's own
+// Shards workers; excess requests get 503, the same backpressure signal
+// a full shard queue sends), and the result lands in the shared cache
+// under the same canonical key a plain request would use.
+func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req EstimateRequest) {
+	key, cfg, opt, err := s.resolved(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Serve cache hits before taking a slot: replaying bytes is cheap.
+	if body, hit := s.cache.Get(key); hit {
+		s.writeFinalFrame(w, key, body)
+		return
+	}
+	// Single-flight: a duplicate of an in-flight progress run waits for
+	// the owner and replays its cached bytes instead of recomputing.
+	s.progressMu.Lock()
+	if done, dup := s.progressInflight[key]; dup {
+		s.progressMu.Unlock()
+		select {
+		case <-done:
+		case <-r.Context().Done():
+			return
+		}
+		if body, hit := s.cache.Get(key); hit {
+			s.writeFinalFrame(w, key, body)
+			return
+		}
+		// The owner failed; report rather than silently recomputing.
+		writeError(w, http.StatusInternalServerError, errors.New("service: coalesced progress run failed; retry"))
+		return
+	}
+	done := make(chan struct{})
+	s.progressInflight[key] = done
+	s.progressMu.Unlock()
+	defer func() {
+		s.progressMu.Lock()
+		delete(s.progressInflight, key)
+		s.progressMu.Unlock()
+		close(done)
+	}()
+
+	select {
+	case s.progressSem <- struct{}{}:
+		defer func() { <-s.progressSem }()
+	default:
+		writeError(w, http.StatusServiceUnavailable, errors.New("service: progress-streaming capacity exhausted"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Ltsimd-Key", key)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(f EstimateFrame) {
+		enc.Encode(f)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	h.Set("X-Ltsimd-Cache", "miss")
+
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		emit(EstimateFrame{Error: err.Error(), Key: key})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	var lastEmit time.Time
+	est, err := runner.EstimateStream(ctx, opt, func(p sim.Progress) {
+		if p.Final {
+			return // the final frame below carries the result
+		}
+		// Always emit the first boundary, then throttle so a
+		// million-trial run does not flood the connection.
+		if !lastEmit.IsZero() && time.Since(lastEmit) < 100*time.Millisecond {
+			return
+		}
+		lastEmit = time.Now()
+		emit(EstimateFrame{Progress: newProgressJSON(p), Key: key})
+	})
+	if err != nil {
+		emit(EstimateFrame{Error: err.Error(), Key: key})
+		return
+	}
+	body, err := json.Marshal(report.NewEstimateJSON(est, opt.Horizon))
+	if err != nil {
+		emit(EstimateFrame{Error: err.Error(), Key: key})
+		return
+	}
+	s.cache.Put(key, body)
+	emit(EstimateFrame{Final: true, Key: key, Cache: "miss", Result: body})
 }
 
 // SweepRequest fans a batch of estimate requests across the worker pool.

@@ -25,13 +25,26 @@
 //
 // HTTP surface (all JSON):
 //
-//	POST /estimate        one estimate; X-Ltsimd-Cache: hit|miss
+//	POST /estimate        one estimate; X-Ltsimd-Cache: hit|miss. With
+//	                      "progress": true, an NDJSON stream of progress
+//	                      frames at batch boundaries followed by a final
+//	                      frame carrying the canonical result bytes
+//	                      (progress mode runs on the request goroutine,
+//	                      bypassing the shard queue; the result still
+//	                      populates the shared cache)
 //	POST /sweep           many estimates, streamed back as NDJSON lines
 //	                      in completion order, trailing summary line
 //	GET  /experiments     the registered experiment index
 //	POST /experiments/run run one experiment by id (?id=E2&quick=1&seed=1)
 //	GET  /healthz         liveness
 //	GET  /stats           cache hit rate, queue depth, in-flight jobs
+//
+// Estimate requests may be adaptive ("target_rel_width", "max_trials"):
+// the simulator stops at the first batch boundary where the target
+// precision is met. Adaptive runs are deterministic (batch-boundary
+// stopping, parallelism-independent), so they cache exactly like fixed
+// runs — keyed by the canonical request including the stopping rule, not
+// by the realized trial count.
 package service
 
 import (
@@ -54,6 +67,16 @@ type Config struct {
 	// GOMAXPROCS evenly across shards so concurrent jobs do not
 	// oversubscribe the machine.
 	SimParallel int
+	// MaxTrialsCap, when positive, clamps every request's trial budget
+	// (fixed Trials and adaptive MaxTrials alike) before the request is
+	// fingerprinted — the daemon's guard against abusive budgets. The
+	// cached entry is the clamped request's.
+	MaxTrialsCap int
+	// DefaultTargetRel, when positive, turns requests that specify
+	// neither a trial count nor their own target into adaptive runs at
+	// this relative half-width — "give me the answer to 5%" as the
+	// server-wide default contract. Applied before fingerprinting.
+	DefaultTargetRel float64
 }
 
 // withDefaults fills the zero values.

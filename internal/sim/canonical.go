@@ -68,8 +68,18 @@ func Canonical(cfg Config, opt Options) (string, error) {
 		canonFloat(cfg.AuditLatentFaultProb), canonFloat(cfg.AuditVisibleFaultProb))
 
 	opt = opt.withDefaults()
-	fmt.Fprintf(&b, "sim.Options/v1{trials:%d,horizon:%s,seed:%d,level:%s}",
+	fmt.Fprintf(&b, "sim.Options/v1{trials:%d,horizon:%s,seed:%d,level:%s",
 		opt.Trials, canonFloat(opt.Horizon), opt.Seed, canonFloat(opt.Level))
+	if opt.adaptive() {
+		// Adaptive runs stop at batch boundaries, so the realized trial
+		// count is a deterministic function of (target, maxTrials,
+		// batchSize) — these join the key, while fixed-trial runs keep
+		// their historical encoding (batch size cannot shape a fixed
+		// result, and older fingerprints stay valid).
+		fmt.Fprintf(&b, ",targetRel:%s,maxTrials:%d,batch:%d",
+			canonFloat(opt.TargetRelWidth), opt.MaxTrials, opt.BatchSize)
+	}
+	b.WriteString("}")
 	return b.String(), nil
 }
 

@@ -125,6 +125,19 @@ func TestCanonicalSensitivity(t *testing.T) {
 		"seed":    func(_ *Config, o *Options) { o.Seed = 2 },
 		"horizon": func(_ *Config, o *Options) { o.Horizon = 8760 },
 		"level":   func(_ *Config, o *Options) { o.Level = 0.99 },
+		"adaptive target": func(_ *Config, o *Options) {
+			o.TargetRelWidth = 0.05
+			o.MaxTrials = 100000
+		},
+		"adaptive max trials": func(_ *Config, o *Options) {
+			o.TargetRelWidth = 0.05
+			o.MaxTrials = 200000
+		},
+		"adaptive batch size": func(_ *Config, o *Options) {
+			o.TargetRelWidth = 0.05
+			o.MaxTrials = 100000
+			o.BatchSize = 512
+		},
 	}
 	seen := map[string]string{base: "base"}
 	for name, mutate := range mutations {
@@ -145,6 +158,36 @@ func TestCanonicalSensitivity(t *testing.T) {
 // default Independent{} — behaviorally identical but a different model
 // type, and the canonical form is allowed (and expected) to distinguish
 // concrete types; only value-equal configurations must collide.
+
+// Fixed-trial options must keep their historical canonical encoding —
+// batch size cannot shape a fixed result, so it must not shape the key —
+// while adaptive options fold the stopping rule into the key.
+func TestCanonicalAdaptiveEncoding(t *testing.T) {
+	cfg, opt := canonPaperConfig(t)
+	base, err := Canonical(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(base, "sim.Options/v1{trials:1000,horizon:0,seed:1,level:0.95}") {
+		t.Errorf("fixed-trial options encoding changed:\n%s", base)
+	}
+	batched := opt
+	batched.BatchSize = 32
+	if got, _ := Canonical(cfg, batched); got != base {
+		t.Error("batch size changed a fixed-trial key")
+	}
+
+	adaptive := opt
+	adaptive.TargetRelWidth = 0.05
+	adaptive.MaxTrials = 50000
+	s, err := Canonical(cfg, adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "targetRel:0.05,maxTrials:50000,batch:256") {
+		t.Errorf("adaptive options not encoded in the key:\n%s", s)
+	}
+}
 
 func TestCanonicalRejectsInvalidConfig(t *testing.T) {
 	var cfg Config // no replicas, nil correlation

@@ -30,6 +30,40 @@
 // ScrubPerReplica is deprecated: it predates Specs and survives only as a
 // shorthand that the expansion folds into the per-replica Scrub fields.
 // New code should set Specs[i].Scrub instead.
+//
+// # Streaming estimation, adaptive precision, and the determinism contract
+//
+// Estimation is a streaming reduce, not a collect-then-aggregate pass:
+// each worker owns one reusable trial (the event graph is re-seeded and
+// re-armed in place, never rebuilt) and folds every TrialResult into a
+// per-batch mergeable accumulator; the reducer merges accumulators at
+// fixed batch boundaries (Options.BatchSize trials each) in batch-index
+// order. Peak memory is O(batch + losses), not O(trials): censored
+// trials collapse to counters, so horizon-censored rare-loss runs no
+// longer scale with the budget, while run-to-loss runs still retain one
+// loss time per trial for the Kaplan–Meier fit. Runner.EstimateStream
+// exposes the run as it executes through Progress snapshots.
+//
+// The determinism contract has two halves:
+//
+//   - Fixed-trial runs (TargetRelWidth unset) are bit-identical to the
+//     historical sequential aggregation for the same (config, seed,
+//     trials) — regardless of Parallel and BatchSize. Integer aggregates
+//     merge exactly, the Kaplan–Meier fit depends only on the
+//     observation multiset, and the one order-sensitive reduction (the
+//     Welford pass over loss times) replays each batch's losses in trial
+//     order during the merge. golden_test.go pins this to the bit.
+//
+//   - Adaptive runs (TargetRelWidth > 0) stop at the first batch
+//     boundary where the stopping interval's relative half-width meets
+//     the target (the LossProb Wilson interval under a Horizon, else the
+//     MTTDL t-interval), bounded by [Trials, MaxTrials]. Decisions are
+//     evaluated only over in-order merged batches, so the realized trial
+//     count — and therefore the result — is a pure function of (config,
+//     seed, target, MaxTrials, BatchSize), never of Parallel or timing.
+//
+// Canonical/Fingerprint encode the stopping rule into adaptive cache
+// keys while fixed-trial keys keep their historical form.
 package sim
 
 import (

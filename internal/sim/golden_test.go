@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/repair"
+	"repro/internal/scrub"
+)
+
+// The golden values below were captured from the pre-streaming
+// implementation (the O(Trials) slice-and-barrier aggregation of PR 2)
+// and pin the refactor's central contract: the streaming batched reduce
+// produces bit-identical estimates for the same seed. The Welford pass
+// over loss times replays in trial order during batch merges, the
+// Kaplan–Meier fit depends only on the observation multiset, and every
+// other aggregate is integer-exact — so these must hold to the last bit,
+// at any parallelism and any batch size.
+
+type goldenCase struct {
+	name    string
+	cfg     func(t *testing.T) Config
+	opt     Options
+	mttdl   [3]uint64 // Point, Lo, Hi bits
+	loss    [3]uint64
+	cens    int
+	losses  int
+	maxTime uint64
+	rm      uint64 // RestrictedMean(horizon) bits
+	surv    uint64 // Survival(horizon/2) bits
+}
+
+func goldenMirror(t *testing.T) Config {
+	t.Helper()
+	rep, err := repair.Automated(10, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Replicas:    2,
+		VisibleMean: 1000,
+		LatentMean:  math.Inf(1),
+		Scrub:       scrub.None{},
+		Repair:      rep,
+		Correlation: faults.Independent{},
+	}
+}
+
+func goldenLatent(t *testing.T) Config {
+	t.Helper()
+	rep, err := repair.Automated(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Replicas:    2,
+		VisibleMean: math.Inf(1),
+		LatentMean:  1000,
+		Scrub:       scrub.Periodic{Interval: 100},
+		Repair:      rep,
+		Correlation: faults.Independent{},
+	}
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name: "mirror-loss", cfg: goldenMirror,
+			opt:   Options{Trials: 300, Seed: 42},
+			mttdl: [3]uint64{0x40e8484b6a35c103, 0x40e56b8538271afc, 0x40eb25119c44670a},
+			loss:  [3]uint64{0, 0, 0},
+			cens:  0, losses: 300,
+			maxTime: 0x411350163ba3e5ce, rm: 0x0, surv: 0x3ff0000000000000,
+		},
+		{
+			name: "mirror-censored", cfg: goldenMirror,
+			opt:   Options{Trials: 500, Seed: 7, Horizon: 20000},
+			mttdl: [3]uint64{0x40cff8bd6faf595a, 0x40ce48c9ef7f292c, 0x40d0d45877efc4c4},
+			loss:  [3]uint64{0x3fd604189374bc6a, 0x3fd36fb49ec73a0f, 0x3fd8bf75eafb9709},
+			cens:  328, losses: 172,
+			maxTime: 0x40d3880000000000, rm: 0x40cff8bd6faf595a, surv: 0x3fea1cac083126e8,
+		},
+		{
+			name: "latent-scrubbed", cfg: goldenLatent,
+			opt:   Options{Trials: 400, Seed: 2, Horizon: 30000},
+			mttdl: [3]uint64{0x40c48ec46db14cb5, 0x40c30641f652aff8, 0x40c61746e50fe972},
+			loss:  [3]uint64{0x3fee000000000000, 0x3fed19867b6a30de, 0x3feea24a61b7b04e},
+			cens:  25, losses: 375,
+			maxTime: 0x40dd4c0000000000, rm: 0x40c48ec46db14cb5, surv: 0x3fd170a3d70a3d80,
+		},
+	}
+}
+
+func checkGolden(t *testing.T, g goldenCase, est Estimate) {
+	t.Helper()
+	gotM := [3]uint64{math.Float64bits(est.MTTDL.Point), math.Float64bits(est.MTTDL.Lo), math.Float64bits(est.MTTDL.Hi)}
+	if gotM != g.mttdl {
+		t.Errorf("MTTDL bits %#x, want %#x", gotM, g.mttdl)
+	}
+	gotL := [3]uint64{math.Float64bits(est.LossProb.Point), math.Float64bits(est.LossProb.Lo), math.Float64bits(est.LossProb.Hi)}
+	if gotL != g.loss {
+		t.Errorf("LossProb bits %#x, want %#x", gotL, g.loss)
+	}
+	if est.Censored != g.cens {
+		t.Errorf("censored %d, want %d", est.Censored, g.cens)
+	}
+	if n := est.Trials - est.Censored; n != g.losses {
+		t.Errorf("losses %d, want %d", n, g.losses)
+	}
+	if bits := math.Float64bits(est.Survival.MaxTime()); bits != g.maxTime {
+		t.Errorf("survival max time bits %#x, want %#x", bits, g.maxTime)
+	}
+	if bits := math.Float64bits(est.Survival.RestrictedMean(g.opt.Horizon)); bits != g.rm {
+		t.Errorf("restricted mean bits %#x, want %#x", bits, g.rm)
+	}
+	if bits := math.Float64bits(est.Survival.Survival(g.opt.Horizon / 2)); bits != g.surv {
+		t.Errorf("survival bits %#x, want %#x", bits, g.surv)
+	}
+}
+
+// TestGoldenBitIdentity pins the refactor invariant at several worker
+// counts and batch sizes, including pathological ones (batch 1, batch
+// larger than the budget).
+func TestGoldenBitIdentity(t *testing.T) {
+	for _, g := range goldenCases() {
+		t.Run(g.name, func(t *testing.T) {
+			for _, variant := range []struct {
+				label    string
+				parallel int
+				batch    int
+			}{
+				{"serial", 1, 0},
+				{"parallel8", 8, 0},
+				{"batch1-parallel4", 4, 1},
+				{"batch7", 3, 7},
+				{"one-big-batch", 8, 1 << 20},
+			} {
+				r, err := NewRunner(g.cfg(t))
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := g.opt
+				opt.Parallel = variant.parallel
+				opt.BatchSize = variant.batch
+				est, err := r.Estimate(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Run(variant.label, func(t *testing.T) { checkGolden(t, g, est) })
+			}
+		})
+	}
+}

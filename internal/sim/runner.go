@@ -6,15 +6,25 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
+// DefaultBatchSize is the accumulator merge granularity when
+// Options.BatchSize is zero. Adaptive stopping decisions happen only at
+// batch boundaries, so this value is part of an adaptive result's
+// identity (and of its canonical fingerprint); fixed-trial results do
+// not depend on it.
+const DefaultBatchSize = 256
+
 // Options control a Monte Carlo estimation run.
 type Options struct {
-	// Trials is the number of independent trials (required, >= 2).
+	// Trials is the number of independent trials (required, >= 2). In
+	// adaptive mode (TargetRelWidth > 0) it is instead the minimum trial
+	// count before the stopping rule may fire, and may be left 0.
 	Trials int
 	// Horizon censors each trial at this many hours. 0 runs every trial
 	// to data loss — only affordable when the configured MTTDL is not
@@ -23,11 +33,46 @@ type Options struct {
 	// Seed fixes the run's randomness; the same seed, config, and trial
 	// count reproduce results exactly, regardless of parallelism.
 	Seed uint64
-	// Parallel is the worker count; 0 means GOMAXPROCS.
+	// Parallel is the worker count; 0 means GOMAXPROCS. Workers claim
+	// whole batches, so Parallel is effectively clamped to the batch
+	// count: for fixed runs with a defaulted BatchSize the granularity
+	// shrinks to keep every worker busy (results are batch-size
+	// invariant there), while adaptive runs and explicit BatchSize cap
+	// useful workers at ceil(budget/BatchSize).
 	Parallel int
 	// Level is the confidence level for intervals, in (0,1); 0 defaults
 	// to 0.95. Estimate rejects any other out-of-range value.
 	Level float64
+
+	// TargetRelWidth, when positive, switches the run to adaptive
+	// (precision-targeted) mode: the run stops at the first batch
+	// boundary where the stopping interval's relative half-width is at
+	// or below this target — the LossProb Wilson interval when Horizon
+	// is set, else the MTTDL Student-t interval over observed loss
+	// times. Because the decision is evaluated only at deterministic
+	// batch boundaries, over batches merged in index order, an adaptive
+	// run is a pure function of (config, seed, target, MaxTrials,
+	// BatchSize) — worker count never changes the answer.
+	TargetRelWidth float64
+	// MaxTrials caps an adaptive run's trial budget; 0 defaults to
+	// 1<<20. Ignored in fixed-trial mode.
+	MaxTrials int
+	// BatchSize is the number of trials folded into one per-worker
+	// accumulator between merges; 0 defaults to DefaultBatchSize. Fixed
+	// trial runs are batch-size-invariant; adaptive runs stop only at
+	// multiples of it.
+	BatchSize int
+}
+
+// adaptive reports whether the sequential stopping rule is active.
+func (o Options) adaptive() bool { return o.TargetRelWidth > 0 }
+
+// budget returns the run's maximum trial count.
+func (o Options) budget() int {
+	if o.adaptive() {
+		return o.MaxTrials
+	}
+	return o.Trials
 }
 
 func (o Options) withDefaults() Options {
@@ -37,7 +82,39 @@ func (o Options) withDefaults() Options {
 	if o.Level == 0 {
 		o.Level = 0.95
 	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.adaptive() && o.MaxTrials == 0 {
+		o.MaxTrials = 1 << 20
+	}
 	return o
+}
+
+// validate checks the result-shaping options after withDefaults.
+func (o Options) validate() error {
+	if o.Horizon < 0 || math.IsNaN(o.Horizon) {
+		return fmt.Errorf("%w: horizon %v must be >= 0", ErrInvalidConfig, o.Horizon)
+	}
+	if math.IsNaN(o.Level) || o.Level <= 0 || o.Level >= 1 {
+		return fmt.Errorf("%w: confidence level %v must be in (0,1)", ErrInvalidConfig, o.Level)
+	}
+	if math.IsNaN(o.TargetRelWidth) || o.TargetRelWidth < 0 || math.IsInf(o.TargetRelWidth, 1) {
+		return fmt.Errorf("%w: target relative width %v must be a finite value >= 0", ErrInvalidConfig, o.TargetRelWidth)
+	}
+	if o.adaptive() {
+		if o.MaxTrials < 2 {
+			return fmt.Errorf("%w: %d max trials, need >= 2", ErrInvalidConfig, o.MaxTrials)
+		}
+		if o.Trials < 0 || o.Trials > o.MaxTrials {
+			return fmt.Errorf("%w: minimum trials %d must be in [0, max trials %d]", ErrInvalidConfig, o.Trials, o.MaxTrials)
+		}
+		return nil
+	}
+	if o.Trials < 2 {
+		return fmt.Errorf("%w: %d trials, need >= 2", ErrInvalidConfig, o.Trials)
+	}
+	return nil
 }
 
 // DoubleFaultMatrix counts loss events by (first fault, final fault)
@@ -78,12 +155,40 @@ type Estimate struct {
 	LossProb stats.Interval
 	// Survival is the fitted Kaplan–Meier curve over the trials.
 	Survival *stats.KaplanMeier
-	// Trials and Censored count the run's outcomes.
+	// Trials and Censored count the run's outcomes. In adaptive mode
+	// Trials is the realized count at the stopping boundary.
 	Trials, Censored int
 	// Stats aggregates event counts over all trials.
 	Stats TrialStats
 	// Matrix is the empirical Figure 2 double-fault matrix.
 	Matrix DoubleFaultMatrix
+}
+
+// Progress is a point-in-time snapshot of a streaming estimation run,
+// emitted by EstimateStream at batch boundaries. Snapshots are
+// observational: consuming or ignoring them never changes the run's
+// result.
+type Progress struct {
+	// Trials is the number of trials folded so far; Batches the number
+	// of merged batches.
+	Trials, Batches int
+	// Losses and Censored split the folded trials by outcome.
+	Losses, Censored int
+	// MTTDL is the provisional Student-t interval over observed loss
+	// times (zero until two losses have been seen).
+	MTTDL stats.Interval
+	// LossProb is the provisional Wilson interval; meaningful only for
+	// horizon-censored runs.
+	LossProb stats.Interval
+	// RelWidth is the stopping criterion's current relative half-width
+	// (+Inf while not yet estimable); TargetRelWidth echoes the target
+	// (0 in fixed-trial mode).
+	RelWidth, TargetRelWidth float64
+	// Budget is the run's maximum trial count (Trials, or MaxTrials in
+	// adaptive mode).
+	Budget int
+	// Final marks the last snapshot of a completed run.
+	Final bool
 }
 
 // Runner executes Monte Carlo estimations of a configuration.
@@ -105,10 +210,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
+// trialStreamLabel offsets trial indices into the derivation label
+// space, keeping trial streams disjoint from other derived subsystems.
+const trialStreamLabel = 0x517cc1b727220a95
+
 // RunTrial executes one trial with the stream derived from (seed, index)
 // and returns its result. Exposed for replaying individual trials.
 func (r *Runner) RunTrial(seed, index uint64, horizon float64) TrialResult {
-	src := rng.New(seed).Derive(index + 0x517cc1b727220a95)
+	src := rng.New(seed).Derive(index + trialStreamLabel)
 	t := newTrial(&r.cfg, r.specs, src, nil)
 	return t.run(horizon)
 }
@@ -125,107 +234,166 @@ func (r *Runner) Estimate(opt Options) (Estimate, error) {
 // cancellation never changes the trial-to-stream mapping, only whether
 // the run finishes.
 func (r *Runner) EstimateContext(ctx context.Context, opt Options) (Estimate, error) {
+	return r.EstimateStream(ctx, opt, nil)
+}
+
+// batchState is the shared coordination state of one streaming run.
+type batchState struct {
+	batchSize int
+	budget    int
+	// next is the atomic claim counter: workers take batch indices from
+	// it instead of draining a pre-filled O(Trials) work channel.
+	next atomic.Int64
+	// stopAt is the first batch index workers must not start. It begins
+	// at the full batch count and only shrinks, when the reducer's
+	// stopping rule fires at a boundary.
+	stopAt atomic.Int64
+}
+
+// bounds returns batch b's trial index range.
+func (s *batchState) bounds(b int) (lo, hi int) {
+	lo = b * s.batchSize
+	hi = lo + s.batchSize
+	if hi > s.budget {
+		hi = s.budget
+	}
+	return lo, hi
+}
+
+// EstimateStream is the streaming estimation core: workers fold trials
+// into per-batch accumulators which merge at deterministic batch
+// boundaries, so memory is O(batch) rather than O(trials) and the run
+// can be observed while it executes. Every other estimation entry point
+// is a thin wrapper over it.
+//
+// sink, when non-nil, receives a Progress snapshot after each merged
+// batch and a Final snapshot on completion, synchronously from the
+// calling goroutine. When opt.TargetRelWidth is set the sequential
+// stopping rule runs at each boundary (see Options.TargetRelWidth for
+// the determinism contract).
+func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Progress)) (Estimate, error) {
+	batchSet := opt.BatchSize > 0
 	opt = opt.withDefaults()
-	if opt.Trials < 2 {
-		return Estimate{}, fmt.Errorf("%w: %d trials, need >= 2", ErrInvalidConfig, opt.Trials)
+	if err := opt.validate(); err != nil {
+		return Estimate{}, err
 	}
-	if opt.Horizon < 0 || math.IsNaN(opt.Horizon) {
-		return Estimate{}, fmt.Errorf("%w: horizon %v must be >= 0", ErrInvalidConfig, opt.Horizon)
+	// Batches are both the work-claim unit and the merge boundary, so a
+	// small fixed run under the default batch size would idle most
+	// workers (1000 trials / 256 = 4 claimable units). Fixed-trial
+	// results are batch-size invariant (golden_test.go pins it), so
+	// shrink the default granularity to keep every worker busy; explicit
+	// BatchSize and adaptive runs — where the boundary is part of the
+	// result's identity — are left alone.
+	if !opt.adaptive() && !batchSet {
+		if per := (opt.budget() + opt.Parallel - 1) / opt.Parallel; per < opt.BatchSize {
+			opt.BatchSize = per
+		}
 	}
-	if math.IsNaN(opt.Level) || opt.Level <= 0 || opt.Level >= 1 {
-		return Estimate{}, fmt.Errorf("%w: confidence level %v must be in (0,1)", ErrInvalidConfig, opt.Level)
+	st := &batchState{batchSize: opt.BatchSize, budget: opt.budget()}
+	numBatches := (st.budget + st.batchSize - 1) / st.batchSize
+	st.stopAt.Store(int64(numBatches))
+	// Clamp oversubscription: beyond one worker per batch (and never
+	// more than one per trial) extra workers could not claim any work.
+	if opt.Parallel > numBatches {
+		opt.Parallel = numBatches
+	}
+	minTrials := opt.Trials
+	if minTrials < 2 {
+		minTrials = 2
 	}
 
-	results := make([]TrialResult, opt.Trials)
-	var wg sync.WaitGroup
-	next := make(chan int, opt.Trials)
-	for i := 0; i < opt.Trials; i++ {
-		next <- i
-	}
-	close(next)
+	results := make(chan *accumulator, opt.Parallel)
+	pool := sync.Pool{New: func() any { return new(accumulator) }}
 	done := ctx.Done()
+	var wg sync.WaitGroup
 	for w := 0; w < opt.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			base := rng.New(opt.Seed)
+			var trialSrc rng.Source
+			t := allocTrial(&r.cfg, r.specs, nil)
+			for {
+				b := int(st.next.Add(1) - 1)
+				if int64(b) >= st.stopAt.Load() {
+					return
+				}
+				lo, hi := st.bounds(b)
+				acc := pool.Get().(*accumulator)
+				acc.reset()
+				acc.batch = b
+				for i := lo; i < hi; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					base.DeriveInto(uint64(i)+trialStreamLabel, &trialSrc)
+					t.start(&trialSrc)
+					acc.addTrial(t.run(opt.Horizon), opt.Horizon)
+				}
 				select {
+				case results <- acc:
 				case <-done:
 					return
-				default:
 				}
-				results[i] = r.RunTrial(opt.Seed, uint64(i), opt.Horizon)
 			}
 		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The reducer: merge batch accumulators in index order, deciding
+	// stopping and emitting progress only at merged boundaries. Ranging
+	// until the channel closes (rather than until the target batch
+	// count) both reaps in-flight batches after an early stop and makes
+	// worker exits — including cancellation — impossible to deadlock.
+	var global accumulator
+	pending := make(map[int]*accumulator)
+	folded := 0
+	target := numBatches
+	for acc := range results {
+		if acc.batch >= target {
+			pool.Put(acc)
+			continue
+		}
+		pending[acc.batch] = acc
+		for folded < target {
+			nb, ok := pending[folded]
+			if !ok {
+				break
+			}
+			delete(pending, folded)
+			global.merge(nb)
+			pool.Put(nb)
+			folded++
+			if opt.adaptive() && folded < target && global.trials >= minTrials &&
+				global.stopWidth(opt) <= opt.TargetRelWidth {
+				target = folded
+				st.stopAt.Store(int64(folded))
+			}
+			if sink != nil && folded < target {
+				sink(global.snapshot(opt, folded, st.budget))
+			}
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return Estimate{}, fmt.Errorf("sim: estimation aborted: %w", err)
 	}
-
-	return aggregate(results, opt)
-}
-
-// aggregate reduces trial results into an Estimate.
-func aggregate(results []TrialResult, opt Options) (Estimate, error) {
-	var est Estimate
-	est.Trials = len(results)
-	obs := make([]stats.Observation, 0, len(results))
-	var lossTimes stats.Running
-	var lossWithinHorizon stats.Proportion
-	for _, res := range results {
-		est.Stats.add(res.Stats)
-		obs = append(obs, stats.Observation{Time: res.Time, Event: res.Lost})
-		if res.Lost {
-			lossTimes.Add(res.Time)
-			est.Matrix.Losses[res.FirstFault][res.FinalFault]++
-		} else {
-			est.Censored++
-		}
-		if opt.Horizon > 0 {
-			lossWithinHorizon.Add(res.Lost)
-		}
+	if folded != target {
+		return Estimate{}, fmt.Errorf("sim: internal: merged %d of %d batches", folded, target)
 	}
-	est.Matrix.WOVByVis = est.Stats.WOVOpenedByVis
-	est.Matrix.WOVByLat = est.Stats.WOVOpenedByLat
 
-	km, err := stats.NewKaplanMeier(obs)
+	est, err := global.finalize(opt)
 	if err != nil {
-		return Estimate{}, fmt.Errorf("sim: fitting survival curve: %w", err)
+		return Estimate{}, err
 	}
-	est.Survival = km
-
-	switch {
-	case est.Censored == 0:
-		iv, err := lossTimes.MeanCI(opt.Level)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("sim: MTTDL interval: %w", err)
-		}
-		est.MTTDL = iv
-	case lossTimes.N() >= 2:
-		// Censored run: report the restricted mean (a defensible lower
-		// bound) with the uncensored subset's spread as a rough
-		// interval.
-		rm := km.RestrictedMean(opt.Horizon)
-		iv, err := lossTimes.MeanCI(opt.Level)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("sim: MTTDL interval: %w", err)
-		}
-		half := iv.HalfWidth()
-		est.MTTDL = stats.Interval{Point: rm, Lo: rm - half, Hi: rm + half, Level: opt.Level}
-	default:
-		// (Almost) nothing was lost before the horizon: the restricted
-		// mean is essentially the horizon and carries no spread.
-		rm := km.RestrictedMean(opt.Horizon)
-		est.MTTDL = stats.Interval{Point: rm, Lo: rm, Hi: rm, Level: opt.Level}
-	}
-
-	if opt.Horizon > 0 {
-		iv, err := lossWithinHorizon.CI(opt.Level)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("sim: loss probability interval: %w", err)
-		}
-		est.LossProb = iv
+	if sink != nil {
+		p := global.snapshot(opt, folded, st.budget)
+		p.Final = true
+		sink(p)
 	}
 	return est, nil
 }

@@ -86,6 +86,16 @@ type replica struct {
 	repairEv  *des.Handle // pending repair completion
 
 	src *rng.Source // fault/repair randomness for this replica
+
+	// Prebound event handlers: each arm/re-arm schedules the same
+	// callback, so binding the (trial, index) pair once per replica —
+	// instead of allocating a fresh closure per scheduled event — keeps
+	// the reused per-trial hot path nearly allocation-free.
+	fireVisible  des.Handler
+	fireLatent   des.Handler
+	fireDetect   des.Handler
+	fireAudit    des.Handler
+	fireRepaired des.Handler
 }
 
 // trial is one running simulation.
@@ -121,6 +131,10 @@ type trial struct {
 
 	stats TrialStats
 	trace *Trace // optional event trace (nil = off)
+
+	// shockFns are the prebound recurring handlers for cfg.Shocks,
+	// mirroring the per-replica fire* closures.
+	shockFns []des.Handler
 }
 
 // newTrial builds the event graph for one trial. src must be a
@@ -128,13 +142,25 @@ type trial struct {
 // cfg.ReplicaSpecs() — precomputed by the caller so estimation runs
 // expand the config once, not once per trial.
 func newTrial(cfg *Config, specs []ReplicaSpec, src *rng.Source, trace *Trace) *trial {
+	t := allocTrial(cfg, specs, trace)
+	t.start(src)
+	return t
+}
+
+// allocTrial allocates a trial's reusable state — engine, replicas,
+// fault processes, derived-source slots, prebound handlers — without
+// arming any events. A worker allocates once and then runs many trials
+// through start, which re-seeds and re-arms in place; the sequence of
+// random draws and scheduled events is identical to a freshly built
+// trial, so reuse cannot change results.
+func allocTrial(cfg *Config, specs []ReplicaSpec, trace *Trace) *trial {
 	t := &trial{
 		cfg:       cfg,
 		specs:     specs,
 		eng:       &des.Engine{},
 		reps:      make([]*replica, len(specs)),
-		auditSrc:  src.DeriveString("audit"),
-		shockSrc:  src.DeriveString("shock"),
+		auditSrc:  &rng.Source{},
+		shockSrc:  &rng.Source{},
 		trace:     trace,
 		lazyAudit: cfg.AuditLatentFaultProb == 0 && cfg.AuditVisibleFaultProb == 0 && trace == nil,
 	}
@@ -144,7 +170,6 @@ func newTrial(cfg *Config, specs []ReplicaSpec, src *rng.Source, trace *Trace) *
 	}
 	t.lossAt = len(specs) - minIntact + 1
 	for i := range t.reps {
-		rsrc := src.Derive(uint64(i) + 1)
 		vis, err := faults.NewProcess(specs[i].VisibleMean)
 		if err != nil {
 			panic("sim: config validated but visible process rejected: " + err.Error())
@@ -153,7 +178,52 @@ func newTrial(cfg *Config, specs []ReplicaSpec, src *rng.Source, trace *Trace) *
 		if err != nil {
 			panic("sim: config validated but latent process rejected: " + err.Error())
 		}
-		t.reps[i] = &replica{visible: vis, latent: lat, src: rsrc}
+		r := &replica{visible: vis, latent: lat, src: &rng.Source{}}
+		i := i
+		r.fireVisible = func(*des.Engine) { t.onFault(i, faults.Visible, false) }
+		r.fireLatent = func(*des.Engine) { t.onFault(i, faults.Latent, false) }
+		r.fireDetect = func(*des.Engine) { t.onDetected(i) }
+		r.fireAudit = func(*des.Engine) {
+			t.onAudit(i)
+			t.armAudit(i)
+		}
+		r.fireRepaired = func(*des.Engine) { t.onRepaired(i) }
+		t.reps[i] = r
+	}
+	t.shockFns = make([]des.Handler, len(cfg.Shocks))
+	for si := range cfg.Shocks {
+		si := si
+		t.shockFns[si] = func(*des.Engine) {
+			t.onShock(si)
+			if !t.lost {
+				t.armShock(si)
+			}
+		}
+	}
+	return t
+}
+
+// start (re)initializes the trial from a trial-specific stream and arms
+// the initial events. The derivation labels, draw order, and event
+// scheduling order replicate newTrial's historical construction exactly,
+// so a reset trial is bit-identical to a fresh one.
+func (t *trial) start(src *rng.Source) {
+	t.eng.Reset()
+	src.DeriveStringInto("audit", t.auditSrc)
+	src.DeriveStringInto("shock", t.shockSrc)
+	t.faulty = 0
+	t.lost = false
+	t.lossTime = 0
+	t.first, t.final = 0, 0
+	t.stats = TrialStats{}
+	for i, r := range t.reps {
+		src.DeriveInto(uint64(i)+1, r.src)
+		r.state = stateHealthy
+		r.faultKind = 0
+		r.faultAt = 0
+		r.visibleEv, r.latentEv, r.detectEv, r.repairEv = nil, nil, nil, nil
+		r.visible.SetAcceleration(1)
+		r.latent.SetAcceleration(1)
 	}
 	// Arm the initial fault arrivals and audit schedules.
 	for i := range t.reps {
@@ -164,10 +234,9 @@ func newTrial(cfg *Config, specs []ReplicaSpec, src *rng.Source, trace *Trace) *
 		}
 	}
 	// Arm common-cause shocks.
-	for si := range cfg.Shocks {
+	for si := range t.cfg.Shocks {
 		t.armShock(si)
 	}
-	return t
 }
 
 // run executes the trial until loss or horizon (0 = run to loss).
@@ -203,9 +272,7 @@ func (t *trial) armVisible(i int) {
 	if math.IsInf(delay, 1) {
 		return
 	}
-	r.visibleEv = t.eng.ScheduleAfter(delay, func(*des.Engine) {
-		t.onFault(i, faults.Visible, false)
-	})
+	r.visibleEv = t.eng.ScheduleAfter(delay, r.fireVisible)
 }
 
 // armLatent schedules the next latent fault for replica i if healthy.
@@ -220,9 +287,7 @@ func (t *trial) armLatent(i int) {
 	if math.IsInf(delay, 1) {
 		return
 	}
-	r.latentEv = t.eng.ScheduleAfter(delay, func(*des.Engine) {
-		t.onFault(i, faults.Latent, false)
-	})
+	r.latentEv = t.eng.ScheduleAfter(delay, r.fireLatent)
 }
 
 // scrubFor returns the audit strategy for replica i.
@@ -239,22 +304,14 @@ func (t *trial) armAudit(i int) {
 	if !ok {
 		return
 	}
-	t.eng.Schedule(at, func(*des.Engine) {
-		t.onAudit(i)
-		t.armAudit(i)
-	})
+	t.eng.Schedule(at, t.reps[i].fireAudit)
 }
 
 // armShock schedules the next firing of shock si.
 func (t *trial) armShock(si int) {
 	s := &t.cfg.Shocks[si]
 	delay := s.SampleNext(t.shockSrc)
-	t.eng.ScheduleAfter(delay, func(*des.Engine) {
-		t.onShock(si)
-		if !t.lost {
-			t.armShock(si)
-		}
-	})
+	t.eng.ScheduleAfter(delay, t.shockFns[si])
 }
 
 // armDetection schedules the discovery of replica i's outstanding latent
@@ -280,9 +337,7 @@ func (t *trial) armDetection(i int) {
 	if math.IsInf(best, 1) {
 		return
 	}
-	r.detectEv = t.eng.Schedule(best, func(*des.Engine) {
-		t.onDetected(i)
-	})
+	r.detectEv = t.eng.Schedule(best, r.fireDetect)
 }
 
 // onFault applies a fault of the given class to replica i. planted marks
@@ -431,9 +486,7 @@ func (t *trial) startRepair(i int) {
 	r.detectEv.Cancel()
 	r.detectEv = nil
 	d := t.specs[i].Repair.Duration(r.faultKind == faults.Visible, r.src)
-	r.repairEv = t.eng.ScheduleAfter(d, func(*des.Engine) {
-		t.onRepaired(i)
-	})
+	r.repairEv = t.eng.ScheduleAfter(d, r.fireRepaired)
 	t.traceEvent(t.eng.Now(), i, eventRepairStart, r.faultKind, false)
 }
 

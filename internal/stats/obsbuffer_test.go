@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The buffer fit must be bit-identical to the slice fit on the same
+// multiset — that equivalence is what lets the simulator's streaming
+// reduce reproduce the historical batch aggregation exactly.
+func TestObsBufferKaplanMeierMatchesSliceFit(t *testing.T) {
+	src := rng.New(99)
+	for scenario := 0; scenario < 20; scenario++ {
+		var obs []Observation
+		var buf ObsBuffer
+		n := 3 + src.Intn(200)
+		horizon := 50 + 100*src.Float64()
+		for i := 0; i < n; i++ {
+			tm := 100 * src.Float64()
+			if tm < horizon && src.Bool(0.7) {
+				obs = append(obs, Observation{Time: tm, Event: true})
+				buf.AddEvent(tm)
+			} else {
+				obs = append(obs, Observation{Time: horizon, Event: false})
+				buf.AddCensored(horizon)
+			}
+		}
+		want, err := NewKaplanMeier(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := buf.KaplanMeier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("scenario %d: buffer fit differs from slice fit:\n%+v\nvs\n%+v", scenario, want, got)
+		}
+	}
+}
+
+func TestObsBufferKaplanMeierTiedTimes(t *testing.T) {
+	// Ties between events and censors at the same instant exercise the
+	// same-group handling: censored observations at an event time stay in
+	// that group's risk set.
+	obs := []Observation{
+		{Time: 5, Event: true}, {Time: 5, Event: false}, {Time: 5, Event: true},
+		{Time: 2, Event: true}, {Time: 9, Event: false}, {Time: 9, Event: false},
+		{Time: 7, Event: true},
+	}
+	var buf ObsBuffer
+	for _, o := range obs {
+		if o.Event {
+			buf.AddEvent(o.Time)
+		} else {
+			buf.AddCensored(o.Time)
+		}
+	}
+	want, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := buf.KaplanMeier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("tied-time fit differs:\n%+v\nvs\n%+v", want, got)
+	}
+}
+
+func TestObsBufferMerge(t *testing.T) {
+	var whole, left, right ObsBuffer
+	events := []float64{3, 1, 4, 1.5, 9, 2.6}
+	for i, e := range events {
+		whole.AddEvent(e)
+		if i < 3 {
+			left.AddEvent(e)
+		} else {
+			right.AddEvent(e)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		whole.AddCensored(100)
+		left.AddCensored(100)
+	}
+	for i := 0; i < 4; i++ {
+		whole.AddCensored(50)
+		right.AddCensored(50)
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() || left.EventsN() != whole.EventsN() || left.CensoredN() != whole.CensoredN() {
+		t.Fatalf("merged counts (%d,%d,%d) != whole (%d,%d,%d)",
+			left.N(), left.EventsN(), left.CensoredN(), whole.N(), whole.EventsN(), whole.CensoredN())
+	}
+	// Event order must be left's then right's — the contract the
+	// simulator's ordered batch reduction relies on.
+	if !reflect.DeepEqual(left.Events(), events) {
+		t.Fatalf("merged event order %v != insertion order %v", left.Events(), events)
+	}
+	a, err := whole.KaplanMeier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := left.KaplanMeier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("merged buffer fit differs from whole-buffer fit")
+	}
+}
+
+func TestObsBufferValidation(t *testing.T) {
+	var empty ObsBuffer
+	if _, err := empty.KaplanMeier(); err == nil {
+		t.Error("empty buffer fit accepted")
+	}
+	var bad ObsBuffer
+	bad.AddEvent(-1)
+	if _, err := bad.KaplanMeier(); err == nil {
+		t.Error("negative event time accepted")
+	}
+	var nan ObsBuffer
+	nan.AddCensored(math.NaN())
+	if _, err := nan.KaplanMeier(); err == nil {
+		t.Error("NaN censor time accepted")
+	}
+}
+
+func TestObsBufferReset(t *testing.T) {
+	var b ObsBuffer
+	b.AddEvent(1)
+	b.AddCensored(2)
+	b.Reset()
+	if b.N() != 0 || b.EventsN() != 0 || b.CensoredN() != 0 {
+		t.Fatalf("reset buffer not empty: %+v", b)
+	}
+}
+
+func TestProportionMerge(t *testing.T) {
+	var whole, a, b Proportion
+	src := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		hit := src.Bool(0.3)
+		whole.Add(hit)
+		if i%2 == 0 {
+			a.Add(hit)
+		} else {
+			b.Add(hit)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() || a.Hits() != whole.Hits() {
+		t.Fatalf("merged (%d,%d) != whole (%d,%d)", a.N(), a.Hits(), whole.N(), whole.Hits())
+	}
+	ivA, err := a.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivW, err := whole.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivA != ivW {
+		t.Fatalf("merged interval %+v != whole interval %+v", ivA, ivW)
+	}
+}

@@ -174,6 +174,14 @@ func (p *Proportion) Add(hit bool) {
 	}
 }
 
+// Merge combines another accumulator into p. Counts are integers, so the
+// merge is exact: merged partials from a parallel sweep produce the same
+// estimator and interval as a single sequential pass, in any merge order.
+func (p *Proportion) Merge(o Proportion) {
+	p.n += o.n
+	p.hits += o.hits
+}
+
 // N returns the number of trials observed.
 func (p *Proportion) N() int { return p.n }
 

@@ -26,6 +26,21 @@
 //	r, _ := repro.NewRunner(cfg)
 //	est, _ := r.Estimate(repro.SimOptions{Trials: 1000, Seed: 1})
 //
+// Estimation is a streaming reduce with O(batch) memory: instead of a
+// fixed budget, ask for a precision target and watch the run converge —
+// the run stops at the first deterministic batch boundary where the
+// interval is tight enough, so the answer depends only on (config, seed,
+// target, cap, batch size), never on worker count:
+//
+//	est, _ = r.EstimateStream(ctx, repro.SimOptions{
+//		Seed:           1,
+//		Horizon:        repro.YearsToHours(50),
+//		TargetRelWidth: 0.05,            // stop at 5% CI half-width
+//		MaxTrials:      1_000_000,
+//	}, func(p repro.SimProgress) {
+//		log.Printf("%d/%d trials, rel width %.3f", p.Trials, p.Budget, p.RelWidth)
+//	})
+//
 // Heterogeneous fleets (§6.1–§6.2): SimConfig.Specs gives each replica
 // its own fault means, audit schedule, detection channel, repair policy,
 // and tier label; FleetConfig builds such a config from named storage
@@ -61,10 +76,14 @@
 //
 // Determinism makes the cache sound: the same seed, config, and trial
 // count reproduce results exactly (regardless of parallelism), so a
-// cache hit is bit-identical to recomputation. `ltsim -json` emits the
-// same EstimateJSON encoding the daemon serves, so local and remote
-// outputs are byte-comparable. Embed the service in another process with
-// NewSimService.
+// cache hit is bit-identical to recomputation. Adaptive requests
+// ("target_rel_width", "max_trials") stop at deterministic batch
+// boundaries and cache just as well — keyed by the canonical request
+// including the stopping rule, not the realized trial count — and
+// "progress": true streams NDJSON progress frames ahead of the final
+// result. `ltsim -json` emits the same EstimateJSON encoding the daemon
+// serves, so local and remote outputs are byte-comparable. Embed the
+// service in another process with NewSimService.
 package repro
 
 import (
@@ -136,8 +155,14 @@ type SimConfig = sim.Config
 // site/tier label. Zero/nil fields inherit the SimConfig scalars.
 type ReplicaSpec = sim.ReplicaSpec
 
-// SimOptions controls a Monte Carlo estimation run.
+// SimOptions controls a Monte Carlo estimation run. TargetRelWidth and
+// MaxTrials switch it to adaptive (precision-targeted) mode; BatchSize
+// sets the streaming reduce's merge granularity.
 type SimOptions = sim.Options
+
+// SimProgress is a point-in-time snapshot of a streaming estimation run,
+// delivered to Runner.EstimateStream's sink at batch boundaries.
+type SimProgress = sim.Progress
 
 // Estimate is the aggregated outcome of a Monte Carlo run.
 type Estimate = sim.Estimate
