@@ -44,6 +44,20 @@
 // Local -json output and a daemon response for the same flags are
 // byte-identical: both build the same sim.Config through the same
 // service request type and encode through internal/report.
+//
+// -scenario file.json runs a declarative scenario document (see
+// internal/scenario: a base request plus named grid/zip sweep axes)
+// instead of the flag-described single system. Locally the document is
+// expanded and every point simulated in expansion order, emitting the
+// same NDJSON sweep lines the daemon streams ({"index", "key",
+// "result"} per point plus a trailing summary); with -server the
+// document itself is relayed to POST /sweep and expanded server-side —
+// the two spellings produce byte-identical result lines against a
+// policy-free daemon. The single-run configuration flags are ignored in
+// scenario mode; the document is self-contained.
+//
+//	ltsim -scenario examples/scenario-sweep/scenario.json
+//	ltsim -scenario sweep.json -server http://localhost:8356
 package main
 
 import (
@@ -65,6 +79,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -90,6 +105,7 @@ func main() {
 		targetRel = flag.Float64("target-rel", 0, "adaptive mode: stop when the CI relative half-width reaches this target (0 = fixed -trials budget)")
 		maxTrials = flag.Int("max-trials", 0, "adaptive trial cap (0 = the simulator's default); only with -target-rel")
 		progress  = flag.Bool("progress", false, "report live progress on stderr while the run executes")
+		scenPath  = flag.String("scenario", "", "path to a scenario document (JSON); expand and run the sweep locally, or relay it to -server (single-run flags are ignored)")
 	)
 	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
 		replicaFlags = append(replicaFlags, v)
@@ -117,6 +133,7 @@ func main() {
 		bug: *bug, wear: *wear, replicaSpecs: replicaFlags,
 		asJSON: *asJSON, server: *server,
 		targetRel: *targetRel, maxTrials: *maxTrials, progress: *progress,
+		scenarioPath: *scenPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -136,6 +153,7 @@ type config struct {
 	targetRel        float64
 	maxTrials        int
 	progress         bool
+	scenarioPath     string
 }
 
 // parseReplica resolves one -replica flag value into a storage spec.
@@ -230,6 +248,9 @@ func buildRequest(c config) (service.EstimateRequest, error) {
 }
 
 func run(c config) error {
+	if c.scenarioPath != "" {
+		return runScenario(c.scenarioPath, c.server)
+	}
 	req, err := buildRequest(c)
 	if err != nil {
 		return err
@@ -271,6 +292,87 @@ func run(c config) error {
 		return err
 	}
 	return renderTables(os.Stdout, c, cfg, est)
+}
+
+// runScenario executes a scenario document: relayed to a daemon's
+// /sweep when server is set, otherwise expanded and simulated locally.
+// Both paths emit the daemon's NDJSON sweep lines on stdout — point
+// result lines are byte-identical between the two against a daemon with
+// no request policy (local runs cannot know a remote -target-rel /
+// -max-trials policy); only ordering and the summary line differ.
+func runScenario(path, server string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := scenario.Parse(data)
+	if err != nil {
+		return err
+	}
+	if server != "" {
+		return relayScenario(server, doc)
+	}
+	points, err := scenario.Expand(doc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	enc := json.NewEncoder(os.Stdout)
+	summary := service.SweepLine{Summary: true, Requested: len(points)}
+	for _, pt := range points {
+		line := runScenarioPoint(pt)
+		if line.Error != "" {
+			summary.Errors++
+		} else {
+			summary.OK++
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	summary.ElapsedMS = time.Since(start).Milliseconds()
+	return enc.Encode(summary)
+}
+
+// runScenarioPoint simulates one expanded point and encodes it exactly
+// as the daemon's sweep would: same fingerprint, same result bytes.
+func runScenarioPoint(pt scenario.Point) service.SweepLine {
+	line := service.SweepLine{Index: pt.Index}
+	key, est, opt, err := pt.Execute()
+	if err != nil {
+		line.Error = err.Error()
+		return line
+	}
+	line.Key = key
+	body, err := json.Marshal(report.NewEstimateJSON(est, opt.Horizon))
+	if err != nil {
+		line.Error = err.Error()
+		return line
+	}
+	line.Result = body
+	return line
+}
+
+// relayScenario posts the document to a running ltsimd for server-side
+// expansion and streams the NDJSON sweep back verbatim.
+func relayScenario(base string, doc scenario.Document) error {
+	body, err := json.Marshal(service.SweepRequest{Scenario: &doc})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(base, "/") + "/sweep"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	fmt.Fprintf(os.Stderr, "ltsim: scenario expanded and swept by %s\n", url)
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 // printProgress renders one live snapshot on stderr.

@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/faults"
 	"repro/internal/model"
-	"repro/internal/repair"
 	"repro/internal/report"
-	"repro/internal/scrub"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -71,6 +69,7 @@ func runE6(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 	res.Tables = append(res.Tables, mc.table)
+	res.addNote("monte carlo side defined as scenario document \"E6-replication-x-correlation\" (replicas × alpha grid) and executed through scenario.Expand — the same expansion path behind `ltsim -scenario` and the daemon's scenario-driven /sweep")
 	res.addNote("monte carlo log-slope per replica: alpha=1 %.2f decades, alpha=0.1 %.2f decades (eq 12 predicts %.2f and %.2f)",
 		mc.slope1, mc.slope01, math.Log10(1*mcMV/mcMRV), math.Log10(0.1*mcMV/mcMRV))
 	res.addNote("eq 12 sits ~r above the exact birth-death chain (model.TestEq12VsMarkovConventionFactor): the r first-fault initiators it ignores are exactly offset by parallel repair; the geometric shape is what the paper argues from")
@@ -91,21 +90,28 @@ const (
 )
 
 // replicationShapeMC measures MTTDL vs replica count on a fast system
-// for α ∈ {1, 0.1}.
+// for α ∈ {1, 0.1}. The sweep is a declarative scenario document — a
+// replicas × alpha grid over the scaled mirror — expanded and executed
+// through the same path as `ltsim -scenario` and the daemon's
+// scenario-driven /sweep.
 func replicationShapeMC(cfg RunConfig) (*replicationMC, error) {
-	rep, err := repair.Automated(mcMRV, mcMRV, 0)
-	if err != nil {
-		return nil, err
+	base := adaptiveBase(cfg.Seed, cfg.trials(800), 0.08)
+	never := 0.0
+	base.ScrubsPerYear = &never
+	base.VisibleMeanHours = mcMV
+	base.LatentMeanHours = -1 // no latent channel
+	base.RepairVisibleHours = mcMRV
+	base.RepairLatentHours = mcMRV
+	doc := scenario.Document{
+		V:    scenario.Version,
+		Name: "E6-replication-x-correlation",
+		Base: base,
+		Grid: []scenario.Axis{
+			{Param: "replicas", Values: []float64{2, 3, 4}},
+			{Param: "alpha", Values: []float64{1, 0.1}},
+		},
 	}
-	base := sim.Config{
-		Replicas:    2,
-		VisibleMean: mcMV,
-		LatentMean:  math.Inf(1),
-		Scrub:       scrub.None{},
-		Repair:      rep,
-		Correlation: faults.Independent{},
-	}
-	alpha01, err := faults.NewAlphaCorrelation(0.1)
+	_, ests, err := runScenario(doc)
 	if err != nil {
 		return nil, err
 	}
@@ -115,21 +121,10 @@ func replicationShapeMC(cfg RunConfig) (*replicationMC, error) {
 	p := model.Params{MV: mcMV, ML: math.Inf(1), MRV: mcMRV, MRL: mcMRV, MDL: 0, Alpha: 1}
 
 	var logs1, logs01 []float64
-	for r := 2; r <= 4; r++ {
-		ind := base
-		ind.Replicas = r
-		corr := base
-		corr.Replicas = r
-		corr.Correlation = alpha01
-
-		est1, err := estimateMTTDL(ind, cfg, cfg.trials(800))
-		if err != nil {
-			return nil, err
-		}
-		est01, err := estimateMTTDL(corr, cfg, cfg.trials(800))
-		if err != nil {
-			return nil, err
-		}
+	// Grid order: replicas slowest, alpha fastest — pairs per r.
+	for i, r := range []int{2, 3, 4} {
+		est1 := ests[2*i].MTTDL.Point
+		est01 := ests[2*i+1].MTTDL.Point
 		tbl.MustAddRow(r, est1, est01,
 			p.WithAlpha(1).ReplicatedMTTDL(r),
 			p.WithAlpha(0.1).ReplicatedMTTDL(r))

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// runScenario expands a declarative scenario document and estimates
+// every point in expansion order — the same schema and expansion path
+// the ltsimd service (POST /sweep with a scenario) and `ltsim
+// -scenario` execute, so an experiment's sweep is a document any
+// frontend could replay, not a hand-rolled loop. Points and estimates
+// are returned index-aligned.
+func runScenario(doc scenario.Document) ([]scenario.Point, []sim.Estimate, error) {
+	points, err := scenario.Expand(doc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: scenario %q: %w", doc.Name, err)
+	}
+	ests := make([]sim.Estimate, len(points))
+	for i, pt := range points {
+		_, est, _, err := pt.Execute()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: scenario %q point %d: %w", doc.Name, i, err)
+		}
+		ests[i] = est
+	}
+	return points, ests, nil
+}
+
+// adaptiveBase seeds a scenario base request with the harness's
+// standard precision-targeted stopping rule (the request-level mirror
+// of adaptiveSweepOptions): floor Trials, budget MaxTrials, and the
+// given relative-half-width target.
+func adaptiveBase(seed uint64, budget int, targetRel float64) scenario.EstimateRequest {
+	opt := adaptiveSweepOptions(seed, budget, targetRel)
+	return scenario.EstimateRequest{
+		Seed:           &seed,
+		Trials:         opt.Trials,
+		MaxTrials:      opt.MaxTrials,
+		TargetRelWidth: opt.TargetRelWidth,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/repair"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/scrub"
 	"repro/internal/sim"
 )
@@ -84,38 +85,39 @@ func runE10(cfg RunConfig) (*Result, error) {
 	}
 	res.addNote("clean audits: monotone improvement with frequency; with wear the optimum sits at interval ~%.0f h — §6.6's balance point", xs[bestIdx])
 
-	// Part 2: buggy automated repair, with and without auditing.
+	// Part 2: buggy automated repair, with and without auditing. The
+	// sweep is a declarative scenario document — a bug-probability ×
+	// audit-schedule grid — expanded and executed through the same path
+	// as `ltsim -scenario` and the daemon's scenario-driven /sweep.
 	bugTbl := report.NewTable("Buggy repair: probability each repair plants a latent fault (MV=2000 h, no latent channel otherwise)",
 		"bug probability", "MTTDL no scrub (h)", "MTTDL scrubbed every 200 h (h)")
-	bugRepBase := sim.Config{
-		Replicas:    2,
-		VisibleMean: 2000,
-		LatentMean:  1e12, // bug-planted faults are the only latent source
-		Correlation: faults.Independent{},
+	bugBase := adaptiveBase(cfg.Seed, cfg.trials(600), 0.08)
+	bugBase.Replicas = 2
+	bugBase.VisibleMeanHours = 2000
+	bugBase.LatentMeanHours = 1e12 // bug-planted faults are the only latent source
+	bugBase.RepairVisibleHours = 10
+	bugBase.RepairLatentHours = 10
+	bugProbs := []float64{0, 0.01, 0.1, 0.5}
+	bugDoc := scenario.Document{
+		V:    scenario.Version,
+		Name: "E10-buggy-repair",
+		Base: bugBase,
+		Grid: []scenario.Axis{
+			{Param: "repair_bug_prob", Values: bugProbs},
+			{Param: "scrubs_per_year", Values: []float64{0, 8760.0 / 200}},
+		},
 	}
-	for _, bug := range []float64{0, 0.01, 0.1, 0.5} {
-		bugRep, err := repair.Automated(10, 10, bug)
-		if err != nil {
-			return nil, err
-		}
-		noScrub := bugRepBase
-		noScrub.Repair = bugRep
-		noScrub.Scrub = scrub.None{}
-		a, err := estimateMTTDL(noScrub, cfg, cfg.trials(600))
-		if err != nil {
-			return nil, err
-		}
-		scrubbed := bugRepBase
-		scrubbed.Repair = bugRep
-		scrubbed.Scrub = scrub.Periodic{Interval: 200}
-		b, err := estimateMTTDL(scrubbed, cfg, cfg.trials(600))
-		if err != nil {
-			return nil, err
-		}
-		bugTbl.MustAddRow(bug, a, b)
+	_, bugEsts, err := runScenario(bugDoc)
+	if err != nil {
+		return nil, err
+	}
+	// Grid order: bug probability slowest, audit schedule fastest.
+	for i, bug := range bugProbs {
+		bugTbl.MustAddRow(bug, bugEsts[2*i].MTTDL.Point, bugEsts[2*i+1].MTTDL.Point)
 	}
 	res.Tables = append(res.Tables, bugTbl)
 	res.addNote("without auditing, a 10%% repair bug rate collapses MTTDL toward the single-copy value — 'even visible faults can now turn into latent ones' (§6.6); auditing recovers most of the loss")
+	res.addNote("sweep defined as scenario document \"E10-buggy-repair\" (repair_bug_prob × scrubs_per_year grid) executed through scenario.Expand — the same expansion path behind `ltsim -scenario` and the daemon's scenario-driven /sweep")
 
 	// Part 3 (ablation): synchronized vs staggered audit schedules.
 	stagTbl, err := staggeredAblation(cfg)

@@ -4,11 +4,8 @@ import (
 	"math"
 
 	"repro/internal/baseline"
-	"repro/internal/faults"
-	"repro/internal/repair"
 	"repro/internal/report"
-	"repro/internal/scrub"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
 func init() {
@@ -26,12 +23,15 @@ func init() {
 type e9Case struct {
 	label            string
 	mv, ml, mrv, mrl float64
-	scrubInterval    float64 // 0 = no scrubbing
+	scrubsPerYear    float64 // 0 = no scrubbing
 	alpha            float64
 	trials           int
 }
 
-// runE9 sweeps the model's operating regimes. In every cell the
+// runE9 sweeps the model's operating regimes. The grid is a declarative
+// scenario document — one zip block pairing every physical parameter
+// per cell — expanded and executed through the same path as `ltsim
+// -scenario` and the daemon's scenario-driven /sweep. In every cell the
 // physical simulation should agree with eq 7/8 divided by the replica
 // count (the paper counts first faults at rate 1/MV for the pair; the
 // physical pair sees 2/MV — DESIGN.md §4), up to the small-window
@@ -39,53 +39,55 @@ type e9Case struct {
 func runE9(cfg RunConfig) (*Result, error) {
 	res := &Result{ID: "E9", Title: "Model-vs-simulation validation grid (eq 8)"}
 	grid := []e9Case{
-		{"visible dominated", 1000, 1e8, 10, 10, 100, 1, 2500},
-		{"latent dominated, scrubbed", 1e7, 1000, 5, 5, 100, 1, 2500},
-		{"mixed rates", 2000, 1500, 20, 20, 200, 1, 2500},
-		{"correlated alpha=0.1", 1000, 1e8, 10, 10, 100, 0.1, 2500},
-		{"latent, slow audit", 1e7, 2000, 5, 5, 1000, 1, 2000},
+		{"visible dominated", 1000, 1e8, 10, 10, 8760.0 / 100, 1, 2500},
+		{"latent dominated, scrubbed", 1e7, 1000, 5, 5, 8760.0 / 100, 1, 2500},
+		{"mixed rates", 2000, 1500, 20, 20, 8760.0 / 200, 1, 2500},
+		{"correlated alpha=0.1", 1000, 1e8, 10, 10, 8760.0 / 100, 0.1, 2500},
+		{"latent, slow audit", 1e7, 2000, 5, 5, 8760.0 / 1000, 1, 2000},
 	}
+
+	// Each zip axis carries one parameter column of the grid; the axes
+	// advance together, one expanded point per validation cell.
+	zip := []scenario.Axis{
+		{Param: "visible_mean_hours"}, {Param: "latent_mean_hours"},
+		{Param: "repair_visible_hours"}, {Param: "repair_latent_hours"},
+		{Param: "scrubs_per_year"}, {Param: "alpha"},
+		{Param: "trials"}, {Param: "max_trials"},
+	}
+	budgets := make([]int, len(grid))
+	for i, g := range grid {
+		opt := adaptiveSweepOptions(cfg.Seed, cfg.trials(g.trials), 0.04)
+		budgets[i] = opt.MaxTrials
+		for j, v := range []float64{ // one value per zip axis, same order
+			g.mv, g.ml, g.mrv, g.mrl, g.scrubsPerYear, g.alpha,
+			float64(opt.Trials), float64(opt.MaxTrials),
+		} {
+			zip[j].Values = append(zip[j].Values, v)
+		}
+	}
+	doc := scenario.Document{
+		V:    scenario.Version,
+		Name: "E9-validation-grid",
+		Base: scenario.EstimateRequest{Replicas: 2, Seed: &cfg.Seed, TargetRelWidth: 0.04},
+		Zip:  zip,
+	}
+
+	points, ests, err := runScenario(doc)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("Simulated vs closed-form MTTDL (hours); model = clamped eq 7 / 2; runs stop at 4% CI half-width",
 		"scenario", "trials", "sim MTTDL", "sim 95% CI half-width", "model/2", "sim ÷ (model/2)", "patterson/2")
 	worst := 0.0
 	saved := 0
-	for _, g := range grid {
-		rep, err := repair.Automated(g.mrv, g.mrl, 0)
+	for i, g := range grid {
+		c, _, err := points[i].Request.Build()
 		if err != nil {
 			return nil, err
 		}
-		var strat scrub.Strategy = scrub.None{}
-		if g.scrubInterval > 0 {
-			strat = scrub.Periodic{Interval: g.scrubInterval}
-		}
-		var corr faults.Correlation = faults.Independent{}
-		if g.alpha < 1 {
-			a, err := faults.NewAlphaCorrelation(g.alpha)
-			if err != nil {
-				return nil, err
-			}
-			corr = a
-		}
-		c := sim.Config{
-			Replicas:    2,
-			VisibleMean: g.mv,
-			LatentMean:  g.ml,
-			Scrub:       strat,
-			Repair:      rep,
-			Correlation: corr,
-		}
-		runner, err := sim.NewRunner(c)
-		if err != nil {
-			return nil, err
-		}
-		// Precision-targeted: each cell runs until its MTTDL interval is
-		// tight enough to judge the model, instead of burning a fixed
-		// budget on easy cells.
-		est, err := runner.Estimate(cfg.adaptiveOptions(g.trials, 0.04))
-		if err != nil {
-			return nil, err
-		}
-		saved += cfg.trials(g.trials) - est.Trials
+		est := ests[i]
+		saved += budgets[i] - est.Trials
 		adjusted := c.ModelParams().MTTDL() / 2
 		ratio := est.MTTDL.Point / adjusted
 		patterson := baseline.PattersonRAID{
@@ -99,6 +101,7 @@ func runE9(cfg RunConfig) (*Result, error) {
 	res.Tables = append(res.Tables, tbl)
 	res.addNote("worst sim/model deviation %.0f%% — within the model's small-window approximations (window dwell time and exponential saturation are the residuals)", worst*100)
 	res.addNote("precision-targeted runs (4%% relative CI half-width) spent %d fewer trials than the fixed grid budget", saved)
+	res.addNote("grid defined as scenario document \"E9-validation-grid\": eight zip axes advancing together, one point per cell, expanded by scenario.Expand — the same path behind `ltsim -scenario` and the daemon's scenario-driven /sweep")
 	res.addNote("the Patterson baseline matches only the visible-dominated row; everywhere else it overstates MTTDL because it prices neither latent faults nor correlation (§4, §5)")
 	return res, nil
 }

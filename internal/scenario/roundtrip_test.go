@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// randomSpec draws a well-formed storage spec exercising every field,
+// including disabled (+Inf) fault channels — but never both disabled at
+// once, so the spec also survives full config validation.
+func randomSpec(r *rand.Rand, label string) storage.Spec {
+	s := storage.Spec{
+		Label:       label,
+		VisibleMean: 1 + r.Float64()*2e6,
+		LatentMean:  1 + r.Float64()*4e5,
+		RepairHours: 0.1 + r.Float64()*200,
+	}
+	switch r.Intn(4) {
+	case 0:
+		s.VisibleMean = math.Inf(1)
+	case 1:
+		s.LatentMean = math.Inf(1)
+	}
+	if r.Intn(2) == 0 {
+		s.ScrubsPerYear = 0.5 + r.Float64()*51.5
+	}
+	if r.Intn(3) == 0 {
+		s.ScrubOffset = r.Float64() * 4000
+	}
+	if r.Intn(2) == 0 {
+		s.AccessRatePerHour = 0.001 + r.Float64()
+		s.AccessCoverage = 0.05 + r.Float64()*0.9
+	}
+	return s
+}
+
+// TestWireFloatRoundTripProperty pins the +Inf ↔ −1 wire convention end
+// to end: FleetEntryFromSpec → FleetEntry.spec recovers every
+// storage.Spec field exactly, including disabled channels, regardless
+// of the surrounding default audit frequency.
+func TestWireFloatRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20060418)) // deterministic property sample
+	for i := 0; i < 500; i++ {
+		orig := randomSpec(r, fmt.Sprintf("spec-%d", i))
+		entry := FleetEntryFromSpec(orig)
+		// A default audit frequency the generator never emits: if it
+		// leaks through, the round trip is consulting the default
+		// instead of the entry.
+		got, err := entry.spec(123.456)
+		if err != nil {
+			t.Fatalf("spec %d: %v (entry %+v)", i, err, entry)
+		}
+		if got != orig {
+			t.Fatalf("spec %d round trip drifted:\n  orig %+v\n  wire %+v\n  back %+v", i, orig, entry, got)
+		}
+	}
+}
+
+// TestWireFloatRoundTripThroughBuild drives the same convention through
+// the full request path: a fleet of specs converted to wire entries and
+// rebuilt by EstimateRequest.Build canonicalizes identically to the
+// directly-assembled storage.FleetConfig — the fingerprint-level
+// statement that no field (least of all a disabled channel) was lost in
+// wire transit.
+func TestWireFloatRoundTripThroughBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		specs := make([]storage.Spec, 1+r.Intn(4))
+		entries := make([]FleetEntry, len(specs))
+		for i := range specs {
+			specs[i] = randomSpec(r, fmt.Sprintf("s%d-%d", trial, i))
+			entries[i] = FleetEntryFromSpec(specs[i])
+		}
+		req := EstimateRequest{Fleet: entries, Trials: 50}
+		cfg, opt, err := req.Build()
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v", trial, err)
+		}
+		direct, err := storage.FleetConfig(specs...)
+		if err != nil {
+			t.Fatalf("trial %d: FleetConfig: %v", trial, err)
+		}
+		wireCanon, err := sim.Canonical(cfg, opt)
+		if err != nil {
+			t.Fatalf("trial %d: canonicalizing wire config: %v", trial, err)
+		}
+		directCanon, err := sim.Canonical(direct, opt)
+		if err != nil {
+			t.Fatalf("trial %d: canonicalizing direct config: %v", trial, err)
+		}
+		if wireCanon != directCanon {
+			t.Fatalf("trial %d: wire round trip changed the canonical config:\n  wire   %s\n  direct %s", trial, wireCanon, directCanon)
+		}
+	}
+}
+
+// TestWireFloatExplicitCases pins the convention's edges the sampler
+// cannot hit by accident.
+func TestWireFloatExplicitCases(t *testing.T) {
+	if got := WireFloat(math.Inf(1)); got != -1 {
+		t.Errorf("WireFloat(+Inf) = %v, want -1", got)
+	}
+	if got := WireFloat(1234.5); got != 1234.5 {
+		t.Errorf("WireFloat(1234.5) = %v", got)
+	}
+	// Both channels disabled survives the entry round trip (the config
+	// layer rejects it later, as it should — no fault channel at all).
+	dead := storage.Spec{
+		Label: "inert", VisibleMean: math.Inf(1), LatentMean: math.Inf(1),
+		RepairHours: 10,
+	}
+	back, err := FleetEntryFromSpec(dead).spec(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != dead {
+		t.Errorf("dead-channel round trip = %+v, want %+v", back, dead)
+	}
+}

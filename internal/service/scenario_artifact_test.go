@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// ScenarioBenchArtifact is the schema of BENCH_scenario.json: one
+// scenario document swept cold and warm through server-side expansion,
+// recording expansion size, batch dedupe, and the cache's effect on
+// wall time.
+type ScenarioBenchArtifact struct {
+	Bench           string  `json:"bench"`
+	ConfigsExpanded int     `json:"configs_expanded"`
+	UniqueKeys      int     `json:"unique_keys"`
+	DedupedCold     int     `json:"deduped_cold"`
+	TrialsPerItem   int     `json:"trials_per_item"`
+	ColdMS          int64   `json:"cold_ms"`
+	WarmMS          int64   `json:"warm_ms"`
+	Speedup         float64 `json:"speedup"`
+	WarmCacheHits   int     `json:"warm_cache_hits"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+	BitIdentical    bool    `json:"bit_identical"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+}
+
+// benchScenario is the artifact's document: a replicas × scrubs × alpha
+// grid with a deliberately-colliding min_intact axis (0 canonicalizes
+// to its default 1), so the cold pass exercises batch dedupe — half the
+// expansion shares the other half's fingerprints.
+func benchScenario() scenario.Document {
+	seed := uint64(3)
+	return scenario.Document{
+		V:    scenario.Version,
+		Name: "bench-scenario-sweep",
+		Base: scenario.EstimateRequest{Trials: 200, HorizonYears: 50, Seed: &seed},
+		Grid: []scenario.Axis{
+			{Param: "replicas", Values: []float64{2, 3}},
+			{Param: "alpha", Values: []float64{1, 0.5}},
+			{Param: "scrubs_per_year", Values: []float64{1, 2, 3, 4, 5, 6}},
+			{Param: "min_intact", Values: []float64{0, 1}},
+		},
+	}
+}
+
+// TestBenchArtifactScenario sweeps the scenario document cold and warm
+// through server-side expansion and, when BENCH_SCENARIO_OUT is set,
+// writes the measurements as a machine-readable JSON artifact (CI
+// publishes it as BENCH_scenario.json). Without the env var it still
+// runs as a cheap assertion on dedupe, hit counts, and bit-identity.
+func TestBenchArtifactScenario(t *testing.T) {
+	svc := New(Config{CacheSize: 256, Shards: 4, QueueDepth: 64, JobTimeout: time.Minute})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	}()
+
+	doc := benchScenario()
+	points, err := scenario.Expand(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := SweepRequest{Scenario: &doc}
+
+	start := time.Now()
+	cold, coldSum := runSweep(t, ts.URL, sweep)
+	coldMS := time.Since(start).Milliseconds()
+
+	start = time.Now()
+	warm, warmSum := runSweep(t, ts.URL, sweep)
+	warmMS := time.Since(start).Milliseconds()
+
+	unique := len(points) - coldSum.Deduped
+	identical := len(cold) == len(warm)
+	for i := range cold {
+		if cold[i] != warm[i] {
+			identical = false
+		}
+	}
+	if !identical {
+		t.Error("warm scenario sweep results are not bit-identical to cold")
+	}
+	if wantDedupe := len(points) / 2; coldSum.Deduped != wantDedupe {
+		t.Errorf("cold dedupe = %d of %d points, want %d (min_intact 0 ≡ 1)", coldSum.Deduped, len(points), wantDedupe)
+	}
+	if warmSum.CacheHits < len(points)*95/100 {
+		t.Errorf("warm cache hits = %d of %d, want >= 95%%", warmSum.CacheHits, len(points))
+	}
+	if got := int(svc.Stats().Scheduler.Completed); got != unique {
+		t.Errorf("scheduler ran %d jobs across both passes, want %d (unique keys, cold pass only)", got, unique)
+	}
+
+	art := ScenarioBenchArtifact{
+		Bench:           "scenario_sweep_cold_vs_cached",
+		ConfigsExpanded: len(points),
+		UniqueKeys:      unique,
+		DedupedCold:     coldSum.Deduped,
+		TrialsPerItem:   200,
+		ColdMS:          coldMS,
+		WarmMS:          warmMS,
+		WarmCacheHits:   warmSum.CacheHits,
+		WarmHitRate:     float64(warmSum.CacheHits) / float64(len(points)),
+		BitIdentical:    identical,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+	}
+	if warmMS > 0 {
+		art.Speedup = float64(coldMS) / float64(warmMS)
+	}
+	if coldMS >= 50 && warmMS >= coldMS {
+		t.Errorf("cached scenario sweep (%dms) not faster than cold (%dms)", warmMS, coldMS)
+	}
+
+	out := os.Getenv("BENCH_SCENARIO_OUT")
+	if out == "" {
+		t.Logf("expanded %d (unique %d), cold %dms, warm %dms, %d hits (set BENCH_SCENARIO_OUT to write the artifact)",
+			len(points), unique, coldMS, warmMS, warmSum.CacheHits)
+		return
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d configs (%d unique), cold %dms, warm %dms, speedup %.1fx", out, len(points), unique, coldMS, warmMS, art.Speedup)
+}

@@ -7,13 +7,16 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -52,6 +55,7 @@ func New(cfg Config) *Service {
 	}
 	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /scenarios/expand", s.handleScenarioExpand)
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /experiments/run", s.handleExperimentRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -104,7 +108,7 @@ func (s *Service) applyPolicy(req EstimateRequest) EstimateRequest {
 			}
 		} else {
 			if req.Trials == 0 {
-				req.Trials = defaultTrials // make the wire default explicit before clamping
+				req.Trials = scenario.DefaultTrials // make the wire default explicit before clamping
 			}
 			if req.Trials > cap {
 				req.Trials = cap
@@ -114,25 +118,28 @@ func (s *Service) applyPolicy(req EstimateRequest) EstimateRequest {
 	return req
 }
 
-// resolved applies policy, builds, and fingerprints one request.
-func (s *Service) resolved(req EstimateRequest) (string, sim.Config, sim.Options, error) {
+// resolved applies policy, builds, and fingerprints one request,
+// returning the policy-effective request alongside so callers that
+// display it (the /scenarios/expand dry run) derive it from the same
+// pass that produced the key.
+func (s *Service) resolved(req EstimateRequest) (string, EstimateRequest, sim.Config, sim.Options, error) {
 	req = s.applyPolicy(req)
 	cfg, opt, err := req.Build()
 	if err != nil {
-		return "", sim.Config{}, sim.Options{}, err
+		return "", req, sim.Config{}, sim.Options{}, err
 	}
 	opt.Parallel = s.cfg.SimParallel
 	key, err := sim.Fingerprint(cfg, opt)
 	if err != nil {
-		return "", sim.Config{}, sim.Options{}, err
+		return "", req, sim.Config{}, sim.Options{}, err
 	}
-	return key, cfg, opt, nil
+	return key, req, cfg, opt, nil
 }
 
 // resolve fingerprints one request and returns the compute closure that
 // produces (and caches) its encoded result.
 func (s *Service) resolve(req EstimateRequest) (key string, compute func(context.Context) ([]byte, error), err error) {
-	key, cfg, opt, err := s.resolved(req)
+	key, _, cfg, opt, err := s.resolved(req)
 	if err != nil {
 		return "", nil, err
 	}
@@ -264,7 +271,7 @@ func (s *Service) writeFinalFrame(w http.ResponseWriter, key string, body []byte
 // a full shard queue sends), and the result lands in the shared cache
 // under the same canonical key a plain request would use.
 func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req EstimateRequest) {
-	key, cfg, opt, err := s.resolved(req)
+	key, _, cfg, opt, err := s.resolved(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -355,9 +362,13 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 	emit(EstimateFrame{Final: true, Key: key, Cache: "miss", Result: body})
 }
 
-// SweepRequest fans a batch of estimate requests across the worker pool.
+// SweepRequest fans a batch of estimate requests across the worker
+// pool: either an explicit request list, or a scenario document the
+// server expands through exactly the path a client would (so both
+// spellings yield byte-identical result lines and share cache entries).
 type SweepRequest struct {
-	Requests []EstimateRequest `json:"requests"`
+	Requests []EstimateRequest  `json:"requests,omitempty"`
+	Scenario *scenario.Document `json:"scenario,omitempty"`
 }
 
 // SweepLine is one NDJSON line of a sweep response: a per-request result
@@ -373,14 +384,22 @@ type SweepLine struct {
 	OK        int             `json:"ok,omitempty"`
 	Errors    int             `json:"errors,omitempty"`
 	CacheHits int             `json:"cache_hits,omitempty"`
-	ElapsedMS int64           `json:"elapsed_ms,omitempty"`
+	// Deduped counts the indices that shared another index's fingerprint
+	// within this batch and replayed its bytes instead of scheduling (or
+	// cache-probing) their own run.
+	Deduped   int   `json:"deduped,omitempty"`
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 }
 
-// handleSweep streams a batch: each request is fingerprinted, served
-// from cache or scheduled, and written back as one NDJSON line the
-// moment it finishes — results interleave across workers, so a sweep's
-// wall clock is the slowest shard, not the sum. A trailing summary line
-// reports totals and the batch's cache-hit count.
+// handleSweep streams a batch: every request is fingerprinted up front,
+// identical fingerprints are deduplicated batch-wide (one scheduled run
+// per unique key — a cold sweep of N identical requests simulates once,
+// and every duplicate index replays the same bytes), and each unique
+// key is served from cache or scheduled and written back as NDJSON
+// lines the moment it finishes — results interleave across workers, so
+// a sweep's wall clock is the slowest shard, not the sum. A trailing
+// summary line reports totals, the batch's cache-hit count, and how
+// many indices the dedupe absorbed.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	dec := json.NewDecoder(r.Body)
@@ -389,61 +408,223 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	if req.Scenario != nil {
+		if len(req.Requests) > 0 {
+			writeError(w, http.StatusBadRequest, errors.New("sweep takes requests or a scenario, not both"))
+			return
+		}
+		points, err := scenario.Expand(*req.Scenario)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Requests = make([]EstimateRequest, len(points))
+		for i, pt := range points {
+			req.Requests[i] = pt.Request
+		}
+	}
 	if len(req.Requests) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("sweep needs at least one request"))
+		return
+	}
+	// Explicit request lists honor the same bound scenario expansion
+	// enforces, so neither spelling can queue unbounded work.
+	if len(req.Requests) > scenario.MaxPoints {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d requests exceeds the %d limit", len(req.Requests), scenario.MaxPoints))
 		return
 	}
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-
-	type outcome struct {
-		line SweepLine
-		hit  bool
-	}
-	results := make(chan outcome)
-	// Cap concurrent submissions below total queue capacity so a large
-	// sweep applies backpressure to itself instead of tripping 503s.
-	sem := make(chan struct{}, max(1, s.cfg.Shards*s.cfg.QueueDepth/2))
-	for i, er := range req.Requests {
-		go func(i int, er EstimateRequest) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			key, compute, err := s.resolve(er)
-			if err != nil {
-				results <- outcome{line: SweepLine{Index: i, Error: err.Error()}}
-				return
-			}
-			body, hit := s.cache.Get(key)
-			if !hit {
-				body, err = s.submitWithRetry(r.Context(), key, compute)
-				if err != nil {
-					results <- outcome{line: SweepLine{Index: i, Key: key, Error: err.Error()}}
-					return
-				}
-			}
-			results <- outcome{line: SweepLine{Index: i, Key: key, Result: body}, hit: hit}
-		}(i, er)
-	}
-
 	enc := json.NewEncoder(w)
-	summary := SweepLine{Summary: true, Requested: len(req.Requests)}
-	for range req.Requests {
-		out := <-results
-		if out.line.Error != "" {
-			summary.Errors++
-		} else {
-			summary.OK++
-		}
-		if out.hit {
-			summary.CacheHits++
-		}
-		enc.Encode(out.line)
+	emit := func(line SweepLine) {
+		enc.Encode(line)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+	summary := SweepLine{Summary: true, Requested: len(req.Requests)}
+
+	// Resolve everything up front — fingerprinting is pure CPU (build +
+	// canonicalize + hash), so a large batch fans it across cores rather
+	// than stalling the stream on one goroutine — then group indices by
+	// fingerprint serially, so the batch schedules each unique
+	// configuration exactly once.
+	type resolution struct {
+		key     string
+		compute func(context.Context) ([]byte, error)
+		err     error
+	}
+	resolutions := make([]resolution, len(req.Requests))
+	var wg sync.WaitGroup
+	var nextResolve atomic.Int64
+	for worker := 0; worker < min(runtime.GOMAXPROCS(0), len(req.Requests)); worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextResolve.Add(1)) - 1
+				if i >= len(req.Requests) {
+					return
+				}
+				r := &resolutions[i]
+				r.key, r.compute, r.err = s.resolve(req.Requests[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	type group struct {
+		key     string
+		compute func(context.Context) ([]byte, error)
+		indices []int
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	for i, r := range resolutions {
+		if r.err != nil {
+			// Invalid requests answer immediately, in index order, ahead
+			// of any simulation output.
+			summary.Errors++
+			emit(SweepLine{Index: i, Error: r.err.Error()})
+			continue
+		}
+		g, ok := groups[r.key]
+		if !ok {
+			g = &group{key: r.key, compute: r.compute}
+			groups[r.key] = g
+			order = append(order, g)
+		} else {
+			summary.Deduped++
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	type outcome struct {
+		g    *group
+		body []byte
+		err  error
+		hit  bool
+	}
+	results := make(chan outcome)
+	// A fixed pool of submitters, sized below total queue capacity so a
+	// large sweep applies backpressure to itself instead of tripping
+	// 503s — and so a 65k-point batch costs a few dozen goroutines, not
+	// one per group.
+	var nextGroup atomic.Int64
+	for worker := 0; worker < min(len(order), max(1, s.cfg.Shards*s.cfg.QueueDepth/2)); worker++ {
+		go func() {
+			for {
+				gi := int(nextGroup.Add(1)) - 1
+				if gi >= len(order) {
+					return
+				}
+				g := order[gi]
+				body, hit := s.cache.Get(g.key)
+				var err error
+				if !hit {
+					body, err = s.submitWithRetry(r.Context(), g.key, g.compute)
+				}
+				results <- outcome{g: g, body: body, err: err, hit: hit}
+			}
+		}()
+	}
+
+	for range order {
+		out := <-results
+		for _, i := range out.g.indices {
+			if out.err != nil {
+				summary.Errors++
+				emit(SweepLine{Index: i, Key: out.g.key, Error: out.err.Error()})
+				continue
+			}
+			summary.OK++
+			if out.hit {
+				summary.CacheHits++
+			}
+			emit(SweepLine{Index: i, Key: out.g.key, Result: out.body})
+		}
+	}
 	summary.ElapsedMS = time.Since(start).Milliseconds()
+	enc.Encode(summary)
+}
+
+// ExpandLine is one NDJSON line of a /scenarios/expand dry run: an
+// expanded point (its deterministic index, the coordinates that
+// produced it, the policy-effective request, and the fingerprint a
+// sweep of this document would cache under), or a per-point build
+// error, with a trailing summary line.
+type ExpandLine struct {
+	Index   int              `json:"index"`
+	Key     string           `json:"key,omitempty"`
+	Coords  []scenario.Coord `json:"coords,omitempty"`
+	Request *EstimateRequest `json:"request,omitempty"`
+	Error   string           `json:"error,omitempty"`
+	Summary bool             `json:"summary,omitempty"`
+	Name    string           `json:"name,omitempty"`
+	Points  int              `json:"points,omitempty"`
+	OK      int              `json:"ok,omitempty"`
+	Errors  int              `json:"errors,omitempty"`
+}
+
+// handleScenarioExpand is the dry run behind scenario-driven sweeps: it
+// expands a document server-side and streams every point with its
+// fingerprint, without scheduling any simulation. The reported request
+// is the policy-effective one (after the daemon's -target-rel /
+// -max-trials adjustments), so the keys are exactly what /sweep would
+// hit; a daemon with no request policy reports the expansion verbatim,
+// fingerprint-identical to client-side scenario.Expand.
+func (s *Service) handleScenarioExpand(w http.ResponseWriter, r *http.Request) {
+	var doc scenario.Document
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding scenario: %w", err))
+		return
+	}
+	points, err := scenario.Expand(doc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fingerprinting is the same CPU-bound work the sweep parallelizes;
+	// resolve across cores, then emit in index order.
+	lines := make([]ExpandLine, len(points))
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for worker := 0; worker < min(runtime.GOMAXPROCS(0), len(points)); worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				line := ExpandLine{Index: points[i].Index, Coords: points[i].Coords}
+				if key, eff, _, _, err := s.resolved(points[i].Request); err != nil {
+					line.Error = err.Error()
+				} else {
+					line.Key = key
+					line.Request = &eff
+				}
+				lines[i] = line
+			}
+		}()
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	summary := ExpandLine{Summary: true, Name: doc.Name, Points: len(points)}
+	for _, line := range lines {
+		if line.Error != "" {
+			summary.Errors++
+		} else {
+			summary.OK++
+		}
+		enc.Encode(line)
+	}
 	enc.Encode(summary)
 }
 

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/storage"
 )
 
 // newTestService returns a small running service and its HTTP server.
@@ -103,9 +105,9 @@ func TestEstimateEquivalentRequestsShareCacheEntry(t *testing.T) {
 		Trials: 100, HorizonYears: 50,
 	}
 	// Spell out the exact numbers the tier resolves to.
-	s, err := FleetEntry{Tier: "consumer"}.spec(3)
-	if err != nil {
-		t.Fatal(err)
+	s, ok := storage.TierSpec("consumer", 3)
+	if !ok {
+		t.Fatal("consumer tier missing")
 	}
 	entry := FleetEntryFromSpec(s)
 	explicit := EstimateRequest{

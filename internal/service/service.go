@@ -33,7 +33,16 @@
 //	                      bypassing the shard queue; the result still
 //	                      populates the shared cache)
 //	POST /sweep           many estimates, streamed back as NDJSON lines
-//	                      in completion order, trailing summary line
+//	                      in completion order, trailing summary line.
+//	                      Takes {"requests": [...]} or a declarative
+//	                      {"scenario": {...}} document (internal/scenario)
+//	                      expanded server-side; identical fingerprints
+//	                      within one batch are deduplicated (one
+//	                      scheduled run per unique key, duplicates
+//	                      replay its bytes, "deduped" in the summary)
+//	POST /scenarios/expand dry-run a scenario document: NDJSON of
+//	                      expanded points with policy-effective requests
+//	                      and the fingerprints a sweep would cache under
 //	GET  /experiments     the registered experiment index
 //	POST /experiments/run run one experiment by id (?id=E2&quick=1&seed=1)
 //	GET  /healthz         liveness

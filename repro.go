@@ -84,6 +84,38 @@
 // result. `ltsim -json` emits the same EstimateJSON encoding the daemon
 // serves, so local and remote outputs are byte-comparable. Embed the
 // service in another process with NewSimService.
+//
+// # Scenario documents
+//
+// A Scenario (internal/scenario) is the declarative, versioned way to
+// name a whole family of simulations: a base request plus named sweep
+// axes — "grid" axes expand as a cartesian product, "zip" axes advance
+// together — over replicas, scrubs/year, α, horizons, trial budgets,
+// and named-tier substitutions. Every frontend expands the same
+// document through the same deterministic path: `ltsim -scenario
+// file.json` (locally or relayed to a daemon), the daemon's POST /sweep
+// with {"scenario": ...} (server-side expansion, batch-deduplicated)
+// and POST /scenarios/expand (dry run), and the experiment harness.
+//
+//	doc, _ := repro.ParseScenario([]byte(`{
+//	  "v": 1,
+//	  "base": {"horizon_years": 50, "trials": 200},
+//	  "grid": [{"param": "replicas", "values": [2, 3]}],
+//	  "zip":  [{"param": "alpha",           "values": [1, 0.1]},
+//	           {"param": "scrubs_per_year", "values": [3, 12]}]
+//	}`))
+//	points, _ := repro.ExpandScenario(doc) // 4 points, deterministic order
+//	for _, pt := range points {
+//	    cfg, opt, _ := pt.Request.Build()
+//	    key, _ := pt.Fingerprint() // ≡ the equivalent hand-built request's key
+//	    _, _ = cfg, opt            // simulate, or let a daemon sweep it
+//	    _ = key
+//	}
+//
+// An expanded point fingerprints identically to the equivalent
+// hand-built request, so server-side and client-side expansion share
+// cache entries, and equivalent points within one document collide onto
+// a single scheduled run.
 package repro
 
 import (
@@ -96,6 +128,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/replica"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/scrub"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -367,6 +400,39 @@ type ServiceEstimateRequest = service.EstimateRequest
 // ServiceFleetEntry is one replica of a fleet on the wire: a named tier
 // or explicit StorageSpec numbers.
 type ServiceFleetEntry = service.FleetEntry
+
+// ---- Scenario documents (internal/scenario) ----
+
+// Scenario is a versioned declarative scenario document: a base
+// request plus named grid (cartesian) and zip (paired) sweep axes. See
+// the package comment's "Scenario documents" section and the
+// internal/scenario package comment for the full v1 schema.
+type Scenario = scenario.Document
+
+// ScenarioAxis sweeps one named parameter of a Scenario (by "values",
+// or by "tiers" for named-tier substitution into the base fleet).
+type ScenarioAxis = scenario.Axis
+
+// ScenarioPoint is one expanded point: its deterministic expansion
+// index, the axis coordinates that produced it, and the fully-applied
+// request.
+type ScenarioPoint = scenario.Point
+
+// ScenarioCoord records one axis coordinate of an expanded point.
+type ScenarioCoord = scenario.Coord
+
+// ScenarioVersion is the scenario schema version this build speaks.
+const ScenarioVersion = scenario.Version
+
+// ParseScenario decodes and validates a scenario document, rejecting
+// unknown fields.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
+
+// ExpandScenario materializes every point of a scenario document in
+// its deterministic expansion order (grid odometer, first axis slowest,
+// zip tuple innermost). Each point fingerprints identically to the
+// equivalent hand-built request.
+func ExpandScenario(doc Scenario) ([]ScenarioPoint, error) { return scenario.Expand(doc) }
 
 // EstimateJSON is the canonical machine-readable encoding of an
 // Estimate, shared by `ltsim -json` and the daemon (so their outputs are
