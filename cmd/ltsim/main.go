@@ -37,7 +37,9 @@
 //	             the daemon serves) instead of text tables
 //	-server URL  send the request to a running ltsimd instead of
 //	             simulating locally; the response body (always JSON) is
-//	             printed and the cache disposition goes to stderr. With
+//	             printed and the cache disposition plus the daemon's
+//	             request ID (X-Ltsimd-Request, for correlating with the
+//	             daemon's request log) go to stderr. With
 //	             -progress the daemon streams NDJSON frames: progress
 //	             renders on stderr, the final result on stdout
 //
@@ -366,11 +368,12 @@ func relayScenario(base string, doc scenario.Document) error {
 		return err
 	}
 	defer resp.Body.Close()
+	reqID := resp.Header.Get("X-Ltsimd-Request")
 	if resp.StatusCode != http.StatusOK {
 		payload, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+		return fmt.Errorf("server returned %s%s: %s", resp.Status, requestIDSuffix(reqID), strings.TrimSpace(string(payload)))
 	}
-	fmt.Fprintf(os.Stderr, "ltsim: scenario expanded and swept by %s\n", url)
+	fmt.Fprintf(os.Stderr, "ltsim: scenario expanded and swept by %s%s\n", url, requestIDSuffix(reqID))
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
 }
@@ -406,25 +409,37 @@ func runRemote(base string, req service.EstimateRequest) error {
 		return err
 	}
 	defer resp.Body.Close()
+	// The daemon tags every response with a request ID; surfacing it lets
+	// a user line their invocation up with the daemon's request log.
+	reqID := resp.Header.Get("X-Ltsimd-Request")
 	if req.Progress && resp.StatusCode == http.StatusOK {
-		return relayProgressStream(url, resp)
+		return relayProgressStream(url, reqID, resp)
 	}
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+		return fmt.Errorf("server returned %s%s: %s", resp.Status, requestIDSuffix(reqID), strings.TrimSpace(string(payload)))
 	}
 	if disp := resp.Header.Get("X-Ltsimd-Cache"); disp != "" {
-		fmt.Fprintf(os.Stderr, "ltsim: served from %s (%s)\n", url, disp)
+		fmt.Fprintf(os.Stderr, "ltsim: served from %s (%s%s)\n", url, disp, requestIDSuffix(reqID))
 	}
 	_, err = os.Stdout.Write(payload)
 	return err
 }
 
+// requestIDSuffix renders a daemon request ID for a stderr annotation or
+// error message; empty in, empty out (pre-telemetry daemons).
+func requestIDSuffix(id string) string {
+	if id == "" {
+		return ""
+	}
+	return ", request " + id
+}
+
 // relayProgressStream consumes an NDJSON /estimate progress stream.
-func relayProgressStream(url string, resp *http.Response) error {
+func relayProgressStream(url, reqID string, resp *http.Response) error {
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	sawFinal := false
@@ -437,7 +452,7 @@ func relayProgressStream(url string, resp *http.Response) error {
 		case f.Error != "":
 			return fmt.Errorf("server error: %s", f.Error)
 		case f.Final:
-			fmt.Fprintf(os.Stderr, "ltsim: served from %s (%s)\n", url, f.Cache)
+			fmt.Fprintf(os.Stderr, "ltsim: served from %s (%s%s)\n", url, f.Cache, requestIDSuffix(reqID))
 			if _, err := os.Stdout.Write(append(f.Result, '\n')); err != nil {
 				return err
 			}

@@ -10,6 +10,13 @@
 //	curl -s localhost:8356/experiments
 //	curl -s -X POST 'localhost:8356/experiments/run?id=E2&quick=1'
 //	curl -s localhost:8356/stats
+//	curl -s localhost:8356/metrics
+//
+// Observability: the daemon logs one NDJSON record per request to
+// stderr (request ID, route, status, cache outcome, span timeline;
+// -log-level tunes verbosity), exposes Prometheus metrics on
+// GET /metrics, and — with -debug-addr — serves net/http/pprof on a
+// separate listener so profiling never rides the public surface.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
 // queued and in-flight jobs drain (up to -drain), then workers stop.
@@ -20,8 +27,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,10 +49,19 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for queued and in-flight jobs")
 		targetRel  = flag.Float64("target-rel", 0, "server-wide adaptive default: requests with no trial budget and no target of their own stop at this relative CI half-width (0 = off)")
 		maxTrials  = flag.Int("max-trials", 0, "clamp every request's trial budget, fixed or adaptive (0 = no cap)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (healthz/metrics traffic logs at debug)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on -addr)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *drain, service.Config{
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ltsimd: -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if err := run(*addr, *debugAddr, *drain, logger, service.Config{
 		CacheSize:        *cacheSize,
 		Shards:           *shards,
 		QueueDepth:       *queueDepth,
@@ -52,13 +69,28 @@ func main() {
 		SimParallel:      *parallel,
 		DefaultTargetRel: *targetRel,
 		MaxTrialsCap:     *maxTrials,
+		Logger:           logger,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, drain time.Duration, cfg service.Config) error {
+// debugMux returns a mux serving only the pprof surface. Handlers are
+// registered explicitly rather than through net/http/pprof's
+// DefaultServeMux side effects, so profiling exists only on the debug
+// listener and the public mux stays clean.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr, debugAddr string, drain time.Duration, logger *slog.Logger, cfg service.Config) error {
 	svc := service.New(cfg)
 	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
 
@@ -67,9 +99,20 @@ func run(addr string, drain time.Duration, cfg service.Config) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ltsimd: listening on %s", addr)
+		logger.Info("listening", "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
+
+	var dbgSrv *http.Server
+	if debugAddr != "" {
+		dbgSrv = &http.Server{Addr: debugAddr, Handler: debugMux()}
+		go func() {
+			logger.Info("pprof listening", "addr", debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", debugAddr, "err", err.Error())
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -77,16 +120,19 @@ func run(addr string, drain time.Duration, cfg service.Config) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("ltsimd: shutting down, draining jobs (budget %s)", drain)
+	logger.Info("shutting down, draining jobs", "drain", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("ltsimd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
+	}
+	if dbgSrv != nil {
+		dbgSrv.Shutdown(shutdownCtx)
 	}
 	if err := svc.Shutdown(shutdownCtx); err != nil {
-		log.Printf("ltsimd: drain budget exhausted, in-flight jobs aborted: %v", err)
+		logger.Warn("drain budget exhausted, in-flight jobs aborted", "err", err.Error())
 	} else {
-		log.Printf("ltsimd: drained cleanly")
+		logger.Info("drained cleanly")
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // resultCache is a bounded, mutex-guarded LRU mapping canonical request
@@ -15,7 +17,39 @@ type resultCache struct {
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
+	// metrics mirrors the counters above into the telemetry registry
+	// when instrument has been called; nil outside a Service.
+	metrics *cacheMetrics
+}
+
+// cacheMetrics is the cache's telemetry instrument set.
+type cacheMetrics struct {
+	hits, misses, evictions *telemetry.Counter
+}
+
+// instrument registers the cache metric families and starts mirroring
+// the internal counters into them. Called once by Service.New before
+// the cache serves traffic.
+func (c *resultCache) instrument(reg *telemetry.Registry) {
+	c.metrics = &cacheMetrics{
+		hits:      reg.Counter("ltsimd_cache_hits_total", "Result cache lookups that replayed stored bytes."),
+		misses:    reg.Counter("ltsimd_cache_misses_total", "Result cache lookups that found nothing."),
+		evictions: reg.Counter("ltsimd_cache_evictions_total", "Entries evicted by the LRU bound."),
+	}
+	reg.GaugeFunc("ltsimd_cache_entries", "Result cache size in entries.", func() float64 {
+		return float64(c.Len())
+	})
+	reg.GaugeFunc("ltsimd_cache_capacity", "Result cache capacity in entries.", func() float64 {
+		return float64(c.cap)
+	})
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
 }
 
 type cacheEntry struct {
@@ -42,9 +76,15 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		if c.metrics != nil {
+			c.metrics.misses.Inc()
+		}
 		return nil, false
 	}
 	c.hits++
+	if c.metrics != nil {
+		c.metrics.hits.Inc()
+	}
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
@@ -64,23 +104,29 @@ func (c *resultCache) Put(key string, val []byte) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		if c.metrics != nil {
+			c.metrics.evictions.Inc()
+		}
 	}
 }
 
-// CacheStats is a point-in-time cache snapshot.
+// CacheStats is a point-in-time cache snapshot. Evictions is additive
+// (PR 7); the earlier fields keep their names and positions.
 type CacheStats struct {
 	Size     int     `json:"size"`
 	Capacity int     `json:"capacity"`
 	Hits     uint64  `json:"hits"`
 	Misses   uint64  `json:"misses"`
 	HitRate  float64 `json:"hit_rate"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // Stats snapshots the cache counters.
 func (c *resultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := CacheStats{Size: c.order.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses}
+	s := CacheStats{Size: c.order.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 	if total := c.hits + c.misses; total > 0 {
 		s.HitRate = float64(c.hits) / float64(total)
 	}

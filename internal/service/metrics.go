@@ -1,0 +1,108 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// serviceMetrics holds the HTTP-layer instrument handles. Cache and
+// scheduler instruments live on their own types (resultCache.instrument,
+// scheduler.instrument); everything registers into one shared registry
+// that GET /metrics exposes.
+type serviceMetrics struct {
+	reg          *telemetry.Registry
+	httpSeconds  *telemetry.HistogramVec // route, status, cache
+	httpInflight *telemetry.Gauge
+	sweepDeduped *telemetry.Counter
+}
+
+// newServiceMetrics registers the HTTP metric families.
+func newServiceMetrics(reg *telemetry.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		reg: reg,
+		httpSeconds: reg.HistogramVec("ltsimd_http_request_seconds",
+			"HTTP request latency by route, status code, and cache outcome (hit, miss, dedup, none).",
+			telemetry.DurationBuckets, "route", "status", "cache"),
+		httpInflight: reg.Gauge("ltsimd_http_in_flight",
+			"HTTP requests currently being served."),
+		sweepDeduped: reg.Counter("ltsimd_sweep_deduped_total",
+			"Sweep indices absorbed by batch-wide fingerprint dedupe (duplicates replaying another index's bytes)."),
+	}
+}
+
+// routeLabel folds a request path onto the bounded route label set so
+// arbitrary client paths cannot explode metric cardinality.
+func routeLabel(path string) string {
+	switch path {
+	case "/estimate", "/sweep", "/scenarios/expand", "/experiments",
+		"/experiments/run", "/healthz", "/stats", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the middleware while
+// passing flushes through, so NDJSON streaming handlers keep working
+// behind it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry is the observability middleware: it assigns every
+// request an ID (returned in X-Ltsimd-Request and attached to the
+// context as a telemetry.Trace that handlers and scheduler jobs mark),
+// records the per-route latency histogram split by status and cache
+// outcome, and emits one structured slog record per request carrying
+// the span timeline as NDJSON.
+func (s *Service) withTelemetry(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := telemetry.NewTrace()
+		tr.Mark("received")
+		w.Header().Set("X-Ltsimd-Request", tr.ID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+		s.metrics.httpInflight.Add(1)
+		h.ServeHTTP(rec, r.WithContext(telemetry.WithTrace(r.Context(), tr)))
+		s.metrics.httpInflight.Add(-1)
+		tr.Mark("served")
+
+		route := routeLabel(r.URL.Path)
+		cache := rec.Header().Get("X-Ltsimd-Cache")
+		if cache == "" {
+			cache = "none"
+		}
+		elapsed := time.Since(tr.Start)
+		s.metrics.httpSeconds.With(route, strconv.Itoa(rec.status), cache).Observe(elapsed.Seconds())
+
+		// Scrape and liveness traffic logs at debug so steady-state
+		// monitoring does not flood the request log.
+		level := slog.LevelInfo
+		if route == "/healthz" || route == "/metrics" {
+			level = slog.LevelDebug
+		}
+		attrs := append([]slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", rec.status),
+			slog.String("cache", cache),
+			slog.Float64("dur_ms", float64(elapsed.Nanoseconds())/1e6),
+		}, tr.LogAttrs()...)
+		s.logger.LogAttrs(r.Context(), level, "request", attrs...)
+	})
+}

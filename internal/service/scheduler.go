@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Scheduler errors.
@@ -27,6 +30,13 @@ type job struct {
 	done chan struct{}
 	val  []byte
 	err  error
+	// enqueued timestamps admission, for the queue-wait histogram.
+	enqueued time.Time
+	// trace is the submitting request's span timeline (nil when the
+	// submitter carries none); the worker marks "running" on it and
+	// threads it into the job context so compute code can mark later
+	// stages. Coalesced waiters share the owner's spans.
+	trace *telemetry.Trace
 }
 
 // shard is one scheduler partition: a bounded queue, one worker, and the
@@ -37,6 +47,16 @@ type shard struct {
 	queue   chan *job
 	mu      sync.Mutex
 	pending map[string]*job
+	// metrics is the shard's pre-resolved instrument handles; nil until
+	// scheduler.instrument runs (always before traffic in a Service).
+	metrics *shardInstruments
+}
+
+// shardInstruments is one shard's telemetry handle set, resolved once
+// at instrument time so the worker loop records with plain atomics.
+type shardInstruments struct {
+	queueWait, runDur           *telemetry.Histogram
+	completed, failed, timeouts *telemetry.Counter
 }
 
 // scheduler fans jobs out across key-hashed shards with per-job
@@ -60,6 +80,41 @@ type scheduler struct {
 	inflight  atomic.Int64
 	completed atomic.Uint64
 	failed    atomic.Uint64
+	timeouts  atomic.Uint64
+}
+
+// instrument registers the scheduler metric families: per-shard queue
+// depth gauges, queue-wait and run-duration histograms, and
+// completed/failed/timeout counters. Called once by Service.New before
+// any Submit.
+func (s *scheduler) instrument(reg *telemetry.Registry) {
+	queueWait := reg.HistogramVec("ltsimd_sched_queue_wait_seconds",
+		"Time jobs spend queued before a shard worker starts them.", telemetry.DurationBuckets, "shard")
+	runDur := reg.HistogramVec("ltsimd_sched_run_seconds",
+		"Job execution time on a shard worker.", telemetry.DurationBuckets, "shard")
+	completed := reg.CounterVec("ltsimd_sched_jobs_completed_total",
+		"Jobs that finished successfully.", "shard")
+	failed := reg.CounterVec("ltsimd_sched_jobs_failed_total",
+		"Jobs that returned an error (timeouts included).", "shard")
+	timeouts := reg.CounterVec("ltsimd_sched_jobs_timeout_total",
+		"Jobs aborted by the per-job timeout.", "shard")
+	depth := reg.GaugeVec("ltsimd_sched_queue_depth",
+		"Jobs queued (not yet running) per shard.", "shard")
+	reg.GaugeFunc("ltsimd_sched_inflight", "Jobs currently executing across all shards.", func() float64 {
+		return float64(s.inflight.Load())
+	})
+	for i, sh := range s.shards {
+		label := strconv.Itoa(i)
+		sh.metrics = &shardInstruments{
+			queueWait: queueWait.With(label),
+			runDur:    runDur.With(label),
+			completed: completed.With(label),
+			failed:    failed.With(label),
+			timeouts:  timeouts.With(label),
+		}
+		q := sh.queue
+		depth.Func(func() float64 { return float64(len(q)) }, label)
+	}
 }
 
 // newScheduler starts nShards workers, one per shard.
@@ -117,15 +172,34 @@ func (s *scheduler) work(sh *shard) {
 // run executes one job under the per-job timeout and publishes its
 // outcome.
 func (s *scheduler) run(sh *shard, j *job) {
+	wait := time.Since(j.enqueued)
+	j.trace.Mark("running")
 	s.inflight.Add(1)
+	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.timeout)
-	j.val, j.err = j.fn(ctx)
+	j.val, j.err = j.fn(telemetry.WithTrace(ctx, j.trace))
 	cancel()
 	s.inflight.Add(-1)
+	timedOut := j.err != nil && errors.Is(j.err, context.DeadlineExceeded)
 	if j.err != nil {
 		s.failed.Add(1)
+		if timedOut {
+			s.timeouts.Add(1)
+		}
 	} else {
 		s.completed.Add(1)
+	}
+	if m := sh.metrics; m != nil {
+		m.queueWait.Observe(wait.Seconds())
+		m.runDur.Observe(time.Since(start).Seconds())
+		if j.err == nil {
+			m.completed.Inc()
+		} else {
+			m.failed.Inc()
+			if timedOut {
+				m.timeouts.Inc()
+			}
+		}
 	}
 
 	sh.mu.Lock()
@@ -140,17 +214,27 @@ func (s *scheduler) run(sh *shard, j *job) {
 // ctx cancels the *wait*, not the job: an abandoned job still completes
 // and can populate the cache.
 func (s *scheduler) Submit(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, error) {
+	val, _, err := s.submit(ctx, key, fn)
+	return val, err
+}
+
+// submit is Submit reporting whether the call coalesced onto an
+// already-in-flight job for the same key (the "dedup" cache outcome).
+// The owner's submit carries its context trace into the job, so the
+// worker's "running" and the compute path's later marks land on the
+// originating request's timeline.
+func (s *scheduler) submit(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, bool, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, ErrShuttingDown
+		return nil, false, ErrShuttingDown
 	}
 	sh := s.shardFor(key)
 
 	sh.mu.Lock()
 	j, joined := sh.pending[key]
 	if !joined {
-		j = &job{key: key, fn: fn, done: make(chan struct{})}
+		j = &job{key: key, fn: fn, done: make(chan struct{}), enqueued: time.Now(), trace: telemetry.TraceFrom(ctx)}
 		select {
 		case sh.queue <- j:
 			sh.pending[key] = j
@@ -158,7 +242,7 @@ func (s *scheduler) Submit(ctx context.Context, key string, fn func(context.Cont
 		default:
 			sh.mu.Unlock()
 			s.mu.RUnlock()
-			return nil, ErrQueueFull
+			return nil, false, ErrQueueFull
 		}
 	}
 	sh.mu.Unlock()
@@ -166,19 +250,21 @@ func (s *scheduler) Submit(ctx context.Context, key string, fn func(context.Cont
 
 	select {
 	case <-j.done:
-		return j.val, j.err
+		return j.val, joined, j.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, joined, ctx.Err()
 	}
 }
 
-// SchedulerStats is a point-in-time scheduler snapshot.
+// SchedulerStats is a point-in-time scheduler snapshot. Timeouts is
+// additive (PR 7); the earlier fields keep their names and positions.
 type SchedulerStats struct {
 	Shards     int    `json:"shards"`
 	QueueDepth int    `json:"queue_depth"`
 	Inflight   int64  `json:"inflight"`
 	Completed  uint64 `json:"completed"`
 	Failed     uint64 `json:"failed"`
+	Timeouts   uint64 `json:"timeouts"`
 }
 
 // Stats snapshots the scheduler counters. QueueDepth sums queued (not
@@ -189,6 +275,7 @@ func (s *scheduler) Stats() SchedulerStats {
 		Inflight:  s.inflight.Load(),
 		Completed: s.completed.Load(),
 		Failed:    s.failed.Load(),
+		Timeouts:  s.timeouts.Load(),
 	}
 	for _, sh := range s.shards {
 		st.QueueDepth += len(sh.queue)

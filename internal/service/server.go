@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Service is the simulation service: canonical hashing in front of a
@@ -39,6 +41,17 @@ type Service struct {
 	// its cached result instead of recomputing.
 	progressMu       sync.Mutex
 	progressInflight map[string]chan struct{}
+
+	// logger receives one structured record per request (the span
+	// timeline) plus service lifecycle events; defaults to discarding.
+	logger *slog.Logger
+	// metrics is the HTTP instrument set; metrics.reg is the registry
+	// GET /metrics exposes (cache, scheduler, and sim families register
+	// into the same one).
+	metrics *serviceMetrics
+	// sweepDeduped counts, across all sweeps, indices that replayed
+	// another index's bytes via batch-wide fingerprint dedupe.
+	sweepDeduped atomic.Uint64
 }
 
 // New returns a started service (its scheduler workers are running).
@@ -52,7 +65,29 @@ func New(cfg Config) *Service {
 		start:            time.Now(),
 		progressSem:      make(chan struct{}, cfg.Shards),
 		progressInflight: make(map[string]chan struct{}),
+		logger:           cfg.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s.metrics = newServiceMetrics(reg)
+	s.cache.instrument(reg)
+	s.sched.instrument(reg)
+	sim.EnableMetrics(reg)
+	reg.GaugeFunc("ltsimd_progress_inflight",
+		"Progress-streamed estimate runs currently in flight (single-flight owners).", func() float64 {
+			s.progressMu.Lock()
+			defer s.progressMu.Unlock()
+			return float64(len(s.progressInflight))
+		})
+	reg.GaugeFunc("ltsimd_uptime_seconds", "Seconds since the service started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+
 	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /scenarios/expand", s.handleScenarioExpand)
@@ -60,11 +95,16 @@ func New(cfg Config) *Service {
 	s.mux.HandleFunc("POST /experiments/run", s.handleExperimentRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	return s
 }
 
-// Handler returns the HTTP surface.
-func (s *Service) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP surface, wrapped in the telemetry middleware
+// (request IDs, per-route latency histograms, structured request logs).
+func (s *Service) Handler() http.Handler { return s.withTelemetry(s.mux) }
+
+// MetricsRegistry returns the registry behind GET /metrics.
+func (s *Service) MetricsRegistry() *telemetry.Registry { return s.metrics.reg }
 
 // Shutdown drains the scheduler; see scheduler.Shutdown for semantics.
 func (s *Service) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
@@ -156,6 +196,8 @@ func (s *Service) resolve(req EstimateRequest) (key string, compute func(context
 		if err != nil {
 			return nil, err
 		}
+		// ctx carries the owning request's trace through the scheduler.
+		telemetry.TraceFrom(ctx).Mark("encoded")
 		s.cache.Put(key, body)
 		return body, nil
 	}
@@ -176,23 +218,36 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.streamEstimate(w, r, req)
 		return
 	}
+	tr := telemetry.TraceFrom(r.Context())
 	key, compute, err := s.resolve(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	tr.Mark("resolved")
 	body, hit := s.cache.Get(key)
+	joined := false
 	if !hit {
-		body, err = s.sched.Submit(r.Context(), key, compute)
+		tr.Mark("queued")
+		body, joined, err = s.sched.submit(r.Context(), key, compute)
 		if err != nil {
 			writeError(w, submitStatus(err), err)
 			return
 		}
 	}
+	disp := "miss"
+	switch {
+	case hit:
+		disp = "hit"
+	case joined:
+		// The request coalesced onto an already-in-flight computation of
+		// the same fingerprint and replayed its bytes.
+		disp = "dedup"
+	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Ltsimd-Key", key)
-	h.Set("X-Ltsimd-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	h.Set("X-Ltsimd-Cache", disp)
 	w.Write(body)
 	w.Write([]byte("\n"))
 }
@@ -271,11 +326,13 @@ func (s *Service) writeFinalFrame(w http.ResponseWriter, key string, body []byte
 // a full shard queue sends), and the result lands in the shared cache
 // under the same canonical key a plain request would use.
 func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req EstimateRequest) {
+	tr := telemetry.TraceFrom(r.Context())
 	key, _, cfg, opt, err := s.resolved(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	tr.Mark("resolved")
 	// Serve cache hits before taking a slot: replaying bytes is cheap.
 	if body, hit := s.cache.Get(key); hit {
 		s.writeFinalFrame(w, key, body)
@@ -334,6 +391,9 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 		emit(EstimateFrame{Error: err.Error(), Key: key})
 		return
 	}
+	// Progress runs execute on the request goroutine, so the span
+	// timeline skips "queued" and marks "running" directly.
+	tr.Mark("running")
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
 	defer cancel()
 	var lastEmit time.Time
@@ -358,6 +418,7 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 		emit(EstimateFrame{Error: err.Error(), Key: key})
 		return
 	}
+	tr.Mark("encoded")
 	s.cache.Put(key, body)
 	emit(EstimateFrame{Final: true, Key: key, Cache: "miss", Result: body})
 }
@@ -498,6 +559,10 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			summary.Deduped++
 		}
 		g.indices = append(g.indices, i)
+	}
+	if summary.Deduped > 0 {
+		s.sweepDeduped.Add(uint64(summary.Deduped))
+		s.metrics.sweepDeduped.Add(uint64(summary.Deduped))
 	}
 
 	type outcome struct {
@@ -788,19 +853,32 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// StatsSnapshot is the /stats payload.
+// StatsSnapshot is the /stats payload. ProgressInflight and
+// SweepDeduped are additive (PR 7); the earlier fields keep their names
+// and positions, so pre-existing consumers decode unchanged.
 type StatsSnapshot struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Cache         CacheStats     `json:"cache"`
 	Scheduler     SchedulerStats `json:"scheduler"`
+	// ProgressInflight counts progress-streamed estimate runs currently
+	// in flight (single-flight owners executing off the shard queue).
+	ProgressInflight int `json:"progress_inflight"`
+	// SweepDeduped is the cumulative count of sweep indices that
+	// replayed another index's bytes via batch-wide fingerprint dedupe.
+	SweepDeduped uint64 `json:"sweep_deduped"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() StatsSnapshot {
+	s.progressMu.Lock()
+	progressInflight := len(s.progressInflight)
+	s.progressMu.Unlock()
 	return StatsSnapshot{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Cache:         s.cache.Stats(),
-		Scheduler:     s.sched.Stats(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Cache:            s.cache.Stats(),
+		Scheduler:        s.sched.Stats(),
+		ProgressInflight: progressInflight,
+		SweepDeduped:     s.sweepDeduped.Load(),
 	}
 }
 

@@ -57,8 +57,11 @@
 package service
 
 import (
+	"log/slog"
 	"runtime"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Config sizes the service.
@@ -86,6 +89,15 @@ type Config struct {
 	// this relative half-width — "give me the answer to 5%" as the
 	// server-wide default contract. Applied before fingerprinting.
 	DefaultTargetRel float64
+	// Logger receives one structured record per request (the request ID
+	// and span timeline) plus lifecycle events. Nil discards — tests and
+	// library embedders stay quiet by default; the daemon passes a JSON
+	// handler so the request log is NDJSON.
+	Logger *slog.Logger
+	// Metrics is the registry GET /metrics exposes; nil creates a fresh
+	// one. Pass a shared registry to merge the service's families with
+	// an embedder's own.
+	Metrics *telemetry.Registry
 }
 
 // withDefaults fills the zero values.

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// runMetrics is the simulator's instrument set. Recording happens only
+// on the reducer goroutine at batch boundaries — never inside the
+// per-trial worker loop — so enabling metrics costs one atomic add per
+// ~BatchSize trials and cannot perturb the bit-identical determinism
+// contract (snapshots are observational, and so are these counters).
+type runMetrics struct {
+	trials       *telemetry.Counter
+	batches      *telemetry.Counter
+	runs         *telemetry.Counter
+	runsAdaptive *telemetry.Counter
+	stoppedEarly *telemetry.Counter
+	runSeconds   *telemetry.Histogram
+	relWidth     *telemetry.Histogram
+}
+
+// metricsPtr is the process-wide simulator instrument set; nil (the
+// default) disables recording entirely.
+var metricsPtr atomic.Pointer[runMetrics]
+
+// EnableMetrics registers the sim metric families on reg and starts
+// recording every estimation run in this process into them:
+// sim_trials_total and sim_batches_total give trials/sec and merge
+// throughput under rate(), sim_run_seconds the run-duration
+// distribution, and sim_adaptive_rel_width the adaptive stopping
+// criterion's CI-width trajectory observed at batch boundaries.
+// Idempotent on one registry; calling again with a different registry
+// redirects recording there.
+func EnableMetrics(reg *telemetry.Registry) {
+	metricsPtr.Store(&runMetrics{
+		trials:       reg.Counter("sim_trials_total", "Monte Carlo trials folded into merged batch accumulators."),
+		batches:      reg.Counter("sim_batches_total", "Batch accumulators merged by streaming reducers."),
+		runs:         reg.Counter("sim_runs_total", "Estimation runs started."),
+		runsAdaptive: reg.Counter("sim_runs_adaptive_total", "Estimation runs driven by a sequential stopping rule."),
+		stoppedEarly: reg.Counter("sim_runs_stopped_early_total", "Adaptive runs that met their precision target before exhausting MaxTrials."),
+		runSeconds:   reg.Histogram("sim_run_seconds", "Wall-clock duration of estimation runs.", telemetry.DurationBuckets),
+		relWidth: reg.Histogram("sim_adaptive_rel_width",
+			"Adaptive stopping criterion's relative CI half-width at batch boundaries — the convergence trajectory.", telemetry.WidthBuckets),
+	})
+}
+
+// DisableMetrics detaches the simulator from any registry; estimation
+// runs stop recording. Used by benchmarks measuring instrumentation
+// overhead.
+func DisableMetrics() { metricsPtr.Store(nil) }

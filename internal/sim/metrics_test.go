@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestMetricsDoNotChangeResults is the determinism golden test for the
+// telemetry layer: the same (config, options) estimated with metrics
+// disabled and enabled produces a deeply equal Estimate. Instrumentation
+// is recorded on the reducer at batch boundaries only, so it must be
+// purely observational.
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	cfg := benchMirror()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Options{
+		"fixed":    {Trials: 600, Seed: 9, Horizon: 20000, Parallel: 2},
+		"adaptive": {TargetRelWidth: 0.2, MaxTrials: 4000, Seed: 9, Horizon: 20000, Parallel: 2},
+	}
+	for name, opt := range cases {
+		DisableMetrics()
+		plain, err := r.Estimate(opt)
+		if err != nil {
+			t.Fatalf("%s without metrics: %v", name, err)
+		}
+		EnableMetrics(telemetry.NewRegistry())
+		instrumented, err := r.Estimate(opt)
+		DisableMetrics()
+		if err != nil {
+			t.Fatalf("%s with metrics: %v", name, err)
+		}
+		if !reflect.DeepEqual(plain, instrumented) {
+			t.Errorf("%s: estimate changed when telemetry was enabled:\n%+v\nvs\n%+v", name, plain, instrumented)
+		}
+	}
+}
+
+// TestMetricsAccounting checks the recorded counters agree with the
+// run's realized outcome: every trial and batch is counted exactly once,
+// and the adaptive early-stop path is visible.
+func TestMetricsAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(DisableMetrics)
+	m := metricsPtr.Load()
+
+	cfg := benchMirror()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.Estimate(Options{Trials: 600, Seed: 4, Horizon: 20000, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.trials.Value(); got != uint64(est.Trials) {
+		t.Errorf("trials counter = %d, want the run's %d", got, est.Trials)
+	}
+	if m.batches.Value() < 1 {
+		t.Error("no batches counted")
+	}
+	if got := m.runs.Value(); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+	if got := m.runsAdaptive.Value(); got != 0 {
+		t.Errorf("adaptive runs counter = %d after a fixed run, want 0", got)
+	}
+	if _, _, count := m.runSeconds.Snapshot(); count != 1 {
+		t.Errorf("run duration observations = %d, want 1", count)
+	}
+
+	// A loose adaptive target on a loss-heavy config stops well before
+	// MaxTrials, exercising the early-stop counter and the CI-width
+	// trajectory histogram.
+	adapted, err := r.Estimate(Options{TargetRelWidth: 0.3, MaxTrials: 1 << 16, Seed: 4, Horizon: 20000, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.Trials >= 1<<16 {
+		t.Fatalf("adaptive run used the full budget (%d trials); pick a looser target", adapted.Trials)
+	}
+	if got := m.runsAdaptive.Value(); got != 1 {
+		t.Errorf("adaptive runs counter = %d, want 1", got)
+	}
+	if got := m.stoppedEarly.Value(); got != 1 {
+		t.Errorf("stopped-early counter = %d, want 1", got)
+	}
+	if _, _, widths := m.relWidth.Snapshot(); widths < 1 {
+		t.Error("adaptive run recorded no CI-width observations")
+	}
+	if got := m.trials.Value(); got != uint64(est.Trials+adapted.Trials) {
+		t.Errorf("trials counter = %d, want %d across both runs", got, est.Trials+adapted.Trials)
+	}
+}

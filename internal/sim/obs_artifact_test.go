@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// ObsBenchArtifact is the schema of BENCH_observability.json: the
+// instrumentation-overhead measurement CI publishes alongside the other
+// bench artifacts. The headline number is the trial hot path with
+// metrics enabled versus disabled — the PR's <= 3% overhead budget.
+// Telemetry records on the reducer at batch boundaries, never in the
+// per-trial loop, so the ratio should sit at 1.0 modulo noise.
+type ObsBenchArtifact struct {
+	Bench                  string  `json:"bench"`
+	PlainNsPerTrial        int64   `json:"plain_ns_per_trial"`
+	InstrumentedNsPerTrial int64   `json:"instrumented_ns_per_trial"`
+	HotPathOverhead        float64 `json:"hot_path_overhead"`
+	PlainEstimateNsPerOp   int64   `json:"plain_estimate_ns_per_op"`
+	InstrEstimateNsPerOp   int64   `json:"instrumented_estimate_ns_per_op"`
+	EstimateOverhead       float64 `json:"estimate_overhead"`
+	GoMaxProcs             int     `json:"gomaxprocs"`
+}
+
+// measurePair benchmarks f with metrics disabled and enabled in
+// alternating rounds, keeping each side's fastest run. Interleaving
+// means a machine-load swing hits both sides rather than biasing
+// whichever side happened to run during the spike, and the minimum
+// estimates the noise-free cost better than the mean.
+func measurePair(f func(b *testing.B)) (plain, instrumented int64) {
+	for i := 0; i < 5; i++ {
+		DisableMetrics()
+		if ns := testing.Benchmark(f).NsPerOp(); plain == 0 || ns < plain {
+			plain = ns
+		}
+		EnableMetrics(telemetry.NewRegistry())
+		if ns := testing.Benchmark(f).NsPerOp(); instrumented == 0 || ns < instrumented {
+			instrumented = ns
+		}
+	}
+	DisableMetrics()
+	return plain, instrumented
+}
+
+// benchEstimate is a full streaming estimation, the path that actually
+// contains the (batch-boundary) instrumentation.
+func benchEstimate(b *testing.B) {
+	cfg := benchMirror()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Estimate(Options{Trials: 2000, Seed: uint64(i) + 1, Horizon: 20000, Parallel: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchArtifactObservability measures instrumentation overhead and,
+// when BENCH_OBS_OUT is set, writes BENCH_observability.json. Without
+// the env var it still gates the acceptance criterion: enabling metrics
+// must not slow the per-trial hot path by more than 3%.
+func TestBenchArtifactObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark artifact is not a -short test")
+	}
+	out := os.Getenv("BENCH_OBS_OUT")
+	t.Cleanup(DisableMetrics)
+	plainHot, instrHot := measurePair(BenchmarkTrialHotPath)
+	plainEst, instrEst := measurePair(benchEstimate)
+
+	hotOverhead := float64(instrHot) / float64(plainHot)
+	estOverhead := float64(instrEst) / float64(plainEst)
+	// The 3% acceptance gate holds only when the benchmark owns the
+	// machine — the dedicated CI artifact step (BENCH_OBS_OUT set). Under
+	// a plain `go test ./...` other packages' tests run concurrently and
+	// load noise swamps a 3% signal, so gate loosely there: still enough
+	// to catch instrumentation leaking into the per-trial loop (the hot
+	// path contains zero telemetry code, so its true ratio is 1.0).
+	hotGate, estGate := 1.25, 1.30
+	if out != "" {
+		hotGate, estGate = 1.03, 1.15
+	}
+	if hotOverhead > hotGate {
+		t.Errorf("trial hot path overhead = %.3fx (%d -> %d ns/trial), want <= %.2fx",
+			hotOverhead, plainHot, instrHot, hotGate)
+	}
+	// The estimate path contains the actual recording (one counter add
+	// and histogram observe per ~BatchSize trials); its gate is looser —
+	// it measures whole parallel runs, so run-to-run noise dwarfs the
+	// instrumentation.
+	if estOverhead > estGate {
+		t.Errorf("estimate overhead = %.3fx (%d -> %d ns/op), want <= %.2fx", estOverhead, plainEst, instrEst, estGate)
+	}
+
+	art := ObsBenchArtifact{
+		Bench:                  "sim_instrumentation_overhead",
+		PlainNsPerTrial:        plainHot,
+		InstrumentedNsPerTrial: instrHot,
+		HotPathOverhead:        hotOverhead,
+		PlainEstimateNsPerOp:   plainEst,
+		InstrEstimateNsPerOp:   instrEst,
+		EstimateOverhead:       estOverhead,
+		GoMaxProcs:             runtime.GOMAXPROCS(0),
+	}
+	if out == "" {
+		t.Logf("hot path %.3fx (%d -> %d ns/trial), estimate %.3fx — set BENCH_OBS_OUT to write the artifact",
+			hotOverhead, plainHot, instrHot, estOverhead)
+		return
+	}
+	bts, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(bts, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: hot path %.3fx, estimate %.3fx", out, hotOverhead, estOverhead)
+}

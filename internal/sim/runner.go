@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/rng"
@@ -289,6 +290,18 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 			opt.BatchSize = per
 		}
 	}
+	// Telemetry is recorded only here on the reducer goroutine — the
+	// worker trial loop below is untouched, so instrumentation cannot
+	// perturb results or meaningfully cost the hot path.
+	m := metricsPtr.Load()
+	if m != nil {
+		m.runs.Inc()
+		if opt.adaptive() {
+			m.runsAdaptive.Inc()
+		}
+		runStart := time.Now()
+		defer func() { m.runSeconds.Observe(time.Since(runStart).Seconds()) }()
+	}
 	st := &batchState{batchSize: opt.BatchSize, budget: opt.budget()}
 	numBatches := (st.budget + st.batchSize - 1) / st.batchSize
 	st.stopAt.Store(int64(numBatches))
@@ -366,13 +379,26 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 				break
 			}
 			delete(pending, folded)
+			batchTrials := nb.trials
 			global.merge(nb)
 			pool.Put(nb)
 			folded++
-			if opt.adaptive() && folded < target && global.trials >= minTrials &&
-				global.stopWidth(opt) <= opt.TargetRelWidth {
-				target = folded
-				st.stopAt.Store(int64(folded))
+			if m != nil {
+				m.trials.Add(uint64(batchTrials))
+				m.batches.Inc()
+			}
+			if opt.adaptive() && folded < target && global.trials >= minTrials {
+				width := global.stopWidth(opt)
+				if m != nil && !math.IsInf(width, 1) {
+					m.relWidth.Observe(width)
+				}
+				if width <= opt.TargetRelWidth {
+					target = folded
+					st.stopAt.Store(int64(folded))
+					if m != nil {
+						m.stoppedEarly.Inc()
+					}
+				}
 			}
 			if sink != nil && folded < target {
 				sink(global.snapshot(opt, folded, st.budget))

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Trace is one request's span timeline: an ID plus ordered named marks
+// (received → resolved → queued → running → encoded → served in the
+// simulation service). A nil *Trace is a valid no-op receiver, so code
+// can mark unconditionally whether or not a trace rides the context.
+type Trace struct {
+	// ID is the request identifier, returned to clients in the
+	// X-Ltsimd-Request header and stamped on every log record.
+	ID string
+	// Start anchors the timeline; marks are reported as offsets from it.
+	Start time.Time
+
+	mu    sync.Mutex
+	marks []Mark
+}
+
+// Mark is one named point on a trace's timeline.
+type Mark struct {
+	Name string
+	At   time.Time
+}
+
+// Span is a mark rendered for logging: its offset from the trace start
+// in milliseconds.
+type Span struct {
+	Name string  `json:"name"`
+	AtMS float64 `json:"at_ms"`
+}
+
+// NewTrace starts a trace now with a fresh random ID.
+func NewTrace() *Trace {
+	return &Trace{ID: newTraceID(), Start: time.Now()}
+}
+
+// newTraceID returns 16 hex characters of crypto randomness.
+func newTraceID() string {
+	var b [8]byte
+	// crypto/rand.Read never fails on supported platforms (it aborts the
+	// program instead), so the error is genuinely unreachable.
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// Mark appends a named point at the current time. Safe on a nil trace
+// and from concurrent goroutines (the scheduler worker marks "running"
+// while the request goroutine may be marking its own points).
+func (t *Trace) Mark(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.marks = append(t.marks, Mark{Name: name, At: time.Now()})
+	t.mu.Unlock()
+}
+
+// Marks returns a copy of the timeline in mark order.
+func (t *Trace) Marks() []Mark {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Mark(nil), t.marks...)
+}
+
+// At returns the first mark with the given name.
+func (t *Trace) At(name string) (time.Time, bool) {
+	if t == nil {
+		return time.Time{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range t.marks {
+		if m.Name == name {
+			return m.At, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Spans renders the timeline as offsets from Start, for structured
+// logging ({"name":"queued","at_ms":1.42}, ...).
+func (t *Trace) Spans() []Span {
+	marks := t.Marks()
+	spans := make([]Span, len(marks))
+	for i, m := range marks {
+		spans[i] = Span{Name: m.Name, AtMS: float64(m.At.Sub(t.Start).Nanoseconds()) / 1e6}
+	}
+	return spans
+}
+
+// LogAttrs returns the trace's standard log attributes: its ID and the
+// span timeline.
+func (t *Trace) LogAttrs() []slog.Attr {
+	if t == nil {
+		return nil
+	}
+	return []slog.Attr{slog.String("request", t.ID), slog.Any("spans", t.Spans())}
+}
+
+// ctxKey is the context key type for traces.
+type ctxKey struct{}
+
+// WithTrace attaches t to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil — and nil is safe to
+// Mark, so callers never need to branch.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

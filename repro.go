@@ -85,6 +85,28 @@
 // serves, so local and remote outputs are byte-comparable. Embed the
 // service in another process with NewSimService.
 //
+// # Observability
+//
+// Every layer is instrumented through internal/telemetry, a
+// stdlib-only metrics registry: GET /metrics serves Prometheus text
+// (ltsimd_http_request_seconds by route/status/cache outcome, cache
+// hit/miss/eviction and occupancy, per-shard queue depth, queue-wait
+// and run-duration histograms, and the simulator's sim_trials_total /
+// sim_adaptive_rel_width convergence trajectory). Every response
+// carries an X-Ltsimd-Request ID that matches one NDJSON slog record
+// on the daemon's stderr with the request's span timeline (received →
+// resolved → queued → running → encoded → served). Sim counters record
+// at batch boundaries on the reducer, never in the per-trial loop, so
+// telemetry leaves estimates bit-identical.
+//
+//	ltsimd -addr :8356 -log-level debug -debug-addr 127.0.0.1:6060 &
+//	curl -s localhost:8356/metrics | grep ltsimd_cache
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=5
+//
+// Embedders pass their own *slog.Logger and shared registry via
+// SimServiceConfig's Logger and Metrics fields;
+// Service.MetricsRegistry exposes the registry behind GET /metrics.
+//
 // # Scenario documents
 //
 // A Scenario (internal/scenario) is the declarative, versioned way to
