@@ -31,6 +31,17 @@
 //	ltsim -target-rel 0.05 -horizon 50 -progress
 //	ltsim -target-rel 0.02 -max-trials 200000 -trials 5000
 //
+// For rare-event configurations (3+ replicas, fast repair) -bias turns
+// on importance-sampled failure biasing: in-window fault hazards are
+// boosted and each trial carries a likelihood-ratio weight, so losses
+// are observed orders of magnitude more often while the reported
+// estimate stays unbiased. -bias auto lets the analytic model pick the
+// boost from the configuration and horizon; an explicit factor >= 1
+// pins it. Requires -horizon; the report then includes the resolved β
+// and the effective (equal-weight) loss count:
+//
+//	ltsim -replicas 3 -horizon 10 -bias auto -target-rel 0.1
+//
 // Two flags connect the CLI to the ltsimd daemon:
 //
 //	-json        emit the machine-readable estimate (the exact encoding
@@ -107,6 +118,7 @@ func main() {
 		targetRel = flag.Float64("target-rel", 0, "adaptive mode: stop when the CI relative half-width reaches this target (0 = fixed -trials budget)")
 		maxTrials = flag.Int("max-trials", 0, "adaptive trial cap (0 = the simulator's default); only with -target-rel")
 		progress  = flag.Bool("progress", false, "report live progress on stderr while the run executes")
+		biasMode  = flag.String("bias", "off", "rare-event importance sampling: off, auto (model-chosen boost), or an explicit factor >= 1; requires -horizon")
 		scenPath  = flag.String("scenario", "", "path to a scenario document (JSON); expand and run the sweep locally, or relay it to -server (single-run flags are ignored)")
 	)
 	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
@@ -128,6 +140,12 @@ func main() {
 		effTrials = 0
 	}
 
+	bias, err := parseBias(*biasMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltsim:", err)
+		os.Exit(2)
+	}
+
 	if err := run(config{
 		mv: *mv, ml: *ml, mrv: *mrv, mrl: *mrl,
 		scrubs: *scrubs, alpha: *alpha, replicas: *reps,
@@ -135,7 +153,7 @@ func main() {
 		bug: *bug, wear: *wear, replicaSpecs: replicaFlags,
 		asJSON: *asJSON, server: *server,
 		targetRel: *targetRel, maxTrials: *maxTrials, progress: *progress,
-		scenarioPath: *scenPath,
+		bias: bias, scenarioPath: *scenPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -155,7 +173,24 @@ type config struct {
 	targetRel        float64
 	maxTrials        int
 	progress         bool
+	bias             float64
 	scenarioPath     string
+}
+
+// parseBias maps the -bias flag onto the wire value: 0 off, sim.AutoBias
+// for the model-chosen factor, an explicit β >= 1 otherwise.
+func parseBias(v string) (float64, error) {
+	switch v {
+	case "", "off":
+		return 0, nil
+	case "auto":
+		return sim.AutoBias, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 1 {
+		return 0, fmt.Errorf("-bias %q must be off, auto, or a factor >= 1", v)
+	}
+	return f, nil
 }
 
 // parseReplica resolves one -replica flag value into a storage spec.
@@ -213,6 +248,7 @@ func buildRequest(c config) (service.EstimateRequest, error) {
 		Seed:           &c.seed,
 		TargetRelWidth: c.targetRel,
 		MaxTrials:      c.maxTrials,
+		Bias:           c.bias,
 		Progress:       c.progress,
 	}
 	if len(c.replicaSpecs) > 0 {
@@ -381,6 +417,9 @@ func relayScenario(base string, doc scenario.Document) error {
 // printProgress renders one live snapshot on stderr.
 func printProgress(p sim.Progress) {
 	line := fmt.Sprintf("ltsim: %d/%d trials, %d losses, %d censored", p.Trials, p.Budget, p.Losses, p.Censored)
+	if p.EffectiveSamples > 0 {
+		line += fmt.Sprintf(", ESS %.1f", p.EffectiveSamples)
+	}
 	if !math.IsInf(p.RelWidth, 1) {
 		line += fmt.Sprintf(", rel width %.3f", p.RelWidth)
 	}
@@ -460,6 +499,9 @@ func relayProgressStream(url, reqID string, resp *http.Response) error {
 		case f.Progress != nil:
 			p := f.Progress
 			line := fmt.Sprintf("ltsim: %d/%d trials, %d losses, %d censored", p.Trials, p.Budget, p.Losses, p.Censored)
+			if p.EffectiveSamples != nil {
+				line += fmt.Sprintf(", ESS %.1f", *p.EffectiveSamples)
+			}
 			if p.RelWidth != nil {
 				line += fmt.Sprintf(", rel width %.3f", *p.RelWidth)
 			}
@@ -498,6 +540,10 @@ func renderTables(out io.Writer, c config, cfg sim.Config, est sim.Estimate) err
 	if c.horizonYears > 0 {
 		tbl.MustAddRow(fmt.Sprintf("P(loss in %.0fy)", c.horizonYears),
 			est.LossProb.Point, est.LossProb.Lo, est.LossProb.Hi)
+	}
+	if est.Bias != 0 {
+		tbl.MustAddRow("bias factor β", est.Bias, "", "")
+		tbl.MustAddRow("effective losses (ESS)", est.EffectiveSamples, "", "")
 	}
 	if err := tbl.Render(out); err != nil {
 		return err

@@ -28,14 +28,17 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -49,6 +52,7 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget for queued and in-flight jobs")
 		targetRel  = flag.Float64("target-rel", 0, "server-wide adaptive default: requests with no trial budget and no target of their own stop at this relative CI half-width (0 = off)")
 		maxTrials  = flag.Int("max-trials", 0, "clamp every request's trial budget, fixed or adaptive (0 = no cap)")
+		biasMode   = flag.String("bias", "off", "server-wide rare-event default: horizon-censored requests that don't choose a bias mode run importance-sampled — auto (model-chosen boost) or an explicit factor >= 1 (off = plain Monte Carlo)")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (healthz/metrics traffic logs at debug)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on -addr)")
 	)
@@ -61,6 +65,12 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	bias, err := parseBias(*biasMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltsimd:", err)
+		os.Exit(2)
+	}
+
 	if err := run(*addr, *debugAddr, *drain, logger, service.Config{
 		CacheSize:        *cacheSize,
 		Shards:           *shards,
@@ -69,11 +79,29 @@ func main() {
 		SimParallel:      *parallel,
 		DefaultTargetRel: *targetRel,
 		MaxTrialsCap:     *maxTrials,
+		DefaultBias:      bias,
 		Logger:           logger,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsimd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseBias maps the -bias policy flag onto service.Config.DefaultBias:
+// 0 off, sim.AutoBias for the model-chosen factor, an explicit β >= 1
+// otherwise.
+func parseBias(v string) (float64, error) {
+	switch v {
+	case "", "off":
+		return 0, nil
+	case "auto":
+		return sim.AutoBias, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 1 {
+		return 0, fmt.Errorf("-bias %q must be off, auto, or a factor >= 1", v)
+	}
+	return f, nil
 }
 
 // debugMux returns a mux serving only the pprof surface. Handlers are

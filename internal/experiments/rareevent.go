@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E16",
+		Title:  "Rare-event importance sampling: trials to target precision, naive vs failure-biased",
+		Source: "§5.1 (simulation method); variance reduction for the reliable regimes of §5.4",
+		Run:    runE16,
+	})
+}
+
+// Rare-regime mirror for the sweep: visible-only faults on a 1000-hour
+// mean with fast automated repair, censored at one year. Loss requires
+// every replica faulty at once inside a repair window, so the target
+// probability falls by orders of magnitude per added replica — exactly
+// the regime where naive Monte Carlo burns its whole budget waiting for
+// losses and failure biasing is designed to pay off.
+const (
+	rareMV      = 1000.0
+	rareHorizon = 1.0 // years
+)
+
+// runE16 measures what the importance-sampling fast path buys: over a
+// replicas × repair-speed grid, each cell runs twice — plain Monte
+// Carlo and auto-biased — with the same precision target and trial
+// budget, and the sweep records the trials each needed to reach the
+// target relative CI half-width on P(loss). Both arms are cells of one
+// declarative scenario document (the bias axis is just another swept
+// parameter), so the whole comparison is replayable through `ltsim
+// -scenario` or the daemon's /sweep.
+func runE16(cfg RunConfig) (*Result, error) {
+	res := &Result{ID: "E16", Title: "Rare-event fast path: importance sampling vs naive Monte Carlo"}
+
+	const targetRel = 0.2
+	budget := cfg.trials(20000)
+	base := adaptiveBase(cfg.Seed, budget, targetRel)
+	never := 0.0
+	base.ScrubsPerYear = &never
+	base.VisibleMeanHours = rareMV
+	base.LatentMeanHours = -1 // no latent channel
+	base.HorizonYears = rareHorizon
+
+	replicas := []float64{2, 3, 4, 5, 6}
+	repairs := []float64{1, 4}
+	doc := scenario.Document{
+		V:    scenario.Version,
+		Name: "E16-rare-event-biasing",
+		Base: base,
+		Grid: []scenario.Axis{
+			{Param: "replicas", Values: replicas},
+			{Param: "repair_visible_hours", Values: repairs},
+			{Param: "bias", Values: []float64{0, -1}}, // naive, then auto-biased
+		},
+	}
+	_, ests, err := runScenario(doc)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("Trials to a 20% relative CI half-width on P(loss in 1y), naive vs auto-biased",
+		"replicas", "repair (h)", "naive trials", "naive P(loss)", "biased trials", "beta", "biased P(loss)", "eff. losses", "trial ratio")
+	var xsNaive, ysNaive, xsBiased, ysBiased []float64
+	var maxSigma, sumRatio float64
+	ratios, biasedEarly, bothCapped := 0, 0, 0
+	// Grid order: replicas slowest, repair next, bias fastest — the
+	// naive/biased pair for one cell is adjacent.
+	for ri, r := range replicas {
+		for si, s := range repairs {
+			i := (ri*len(repairs) + si) * 2
+			naive, biased := ests[i], ests[i+1]
+
+			ratio := float64(naive.Trials) / float64(biased.Trials)
+			if biased.Trials < naive.Trials {
+				biasedEarly++
+			}
+			if naive.Trials >= budget && biased.Trials >= budget {
+				bothCapped++
+			}
+			tbl.MustAddRow(int(r), s,
+				naive.Trials, naive.LossProb.Point,
+				biased.Trials, biased.Bias, biased.LossProb.Point,
+				biased.EffectiveSamples, ratio)
+			if s == repairs[0] {
+				xsNaive = append(xsNaive, r)
+				ysNaive = append(ysNaive, float64(naive.Trials))
+				xsBiased = append(xsBiased, r)
+				ysBiased = append(ysBiased, float64(biased.Trials))
+			}
+			// Unbiasedness cross-check where both arms actually saw
+			// losses: the two estimates should agree within their
+			// combined half-widths.
+			if naive.LossProb.Point > 0 && biased.LossProb.Point > 0 {
+				halfN := (naive.LossProb.Hi - naive.LossProb.Lo) / 2
+				halfB := (biased.LossProb.Hi - biased.LossProb.Lo) / 2
+				if combined := halfN + halfB; combined > 0 {
+					sigma := math.Abs(naive.LossProb.Point-biased.LossProb.Point) / combined
+					maxSigma = math.Max(maxSigma, sigma)
+				}
+				sumRatio += ratio
+				ratios++
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	var plot report.LinePlot
+	plot.Title = "Trials to 20% precision vs replica count (repair 1h, log y)"
+	plot.XLabel = "replicas"
+	plot.YLabel = "trials"
+	plot.LogY = true
+	plot.MustAdd(report.Series{Name: "naive", X: xsNaive, Y: ysNaive})
+	plot.MustAdd(report.Series{Name: "auto-biased", X: xsBiased, Y: ysBiased})
+	res.Plots = append(res.Plots, &plot)
+
+	if ratios > 0 {
+		res.addNote("where both arms produced estimates they agree within %.2f combined half-widths (unbiasedness cross-check), with the naive arm needing %.1fx the trials on average", maxSigma, sumRatio/float64(ratios))
+	}
+	res.addNote("in %d of %d cells the biased arm reached the precision target in fewer trials than naive Monte Carlo (cells showing the full %d-trial budget hit the cap without reaching it)", biasedEarly, len(replicas)*len(repairs), budget)
+	if bothCapped > 0 {
+		res.addNote("%d deep cells capped out in both arms: loss there needs a %d-plus-fault cascade, and the auto β is derived from the model's two-fault window probability, so it under-boosts deep cascades — cascade-aware biasing is an open item", bothCapped, 3)
+	}
+	res.addNote("the bias axis is an ordinary scenario parameter: the same document replays through ltsim -scenario or the daemon's /sweep, and biased cells cache under canonical keys distinct from their naive twins")
+	return res, nil
+}

@@ -47,12 +47,15 @@ var ErrInvalid = errors.New("faults: invalid parameter")
 
 // Process is a memoryless fault arrival process with a switchable hazard
 // rate. The base hazard is 1/Mean; correlation models accelerate it while
-// other replicas have outstanding faults. Memorylessness is what makes
-// resampling the next arrival after every acceleration change valid — the
-// paper's model makes exactly the same assumption (§5.2).
+// other replicas have outstanding faults, and importance sampling may
+// further multiply it by a bias factor whose effect is corrected out of
+// the estimate via likelihood-ratio weights. Memorylessness is what makes
+// resampling the next arrival after every rate change valid — the paper's
+// model makes exactly the same assumption (§5.2).
 type Process struct {
 	mean  float64
 	accel float64
+	bias  float64
 }
 
 // NewProcess returns a Process with the given mean time between faults in
@@ -61,7 +64,7 @@ func NewProcess(mean float64) (*Process, error) {
 	if math.IsNaN(mean) || mean <= 0 {
 		return nil, fmt.Errorf("%w: fault process mean %v must be positive", ErrInvalid, mean)
 	}
-	return &Process{mean: mean, accel: 1}, nil
+	return &Process{mean: mean, accel: 1, bias: 1}, nil
 }
 
 // SetAcceleration sets the hazard multiplier f ≥ 1 (1 = nominal). The
@@ -76,8 +79,23 @@ func (p *Process) SetAcceleration(f float64) {
 // Acceleration returns the current hazard multiplier.
 func (p *Process) Acceleration() float64 { return p.accel }
 
-// EffectiveMean returns the current mean inter-arrival time,
-// mean/acceleration.
+// SetBias sets the importance-sampling hazard multiplier b ≥ 1
+// (1 = unbiased). Unlike acceleration, bias is a property of the
+// sampling measure, not the modeled system: EffectiveMean — the true
+// rate, used for likelihood-ratio exposure — excludes it, while
+// SampleNext draws under it.
+func (p *Process) SetBias(b float64) {
+	if math.IsNaN(b) || b < 1 {
+		panic(fmt.Sprintf("faults: bias %v must be >= 1", b))
+	}
+	p.bias = b
+}
+
+// Bias returns the current importance-sampling multiplier.
+func (p *Process) Bias() float64 { return p.bias }
+
+// EffectiveMean returns the current modeled mean inter-arrival time,
+// mean/acceleration — deliberately excluding any sampling bias.
 func (p *Process) EffectiveMean() float64 { return p.mean / p.accel }
 
 // BaseMean returns the nominal (unaccelerated) mean.
@@ -87,12 +105,14 @@ func (p *Process) BaseMean() float64 { return p.mean }
 func (p *Process) Disabled() bool { return math.IsInf(p.mean, 1) }
 
 // SampleNext draws the time from now until the next fault under the
-// current acceleration. Returns +Inf for a disabled process.
+// current acceleration and sampling bias. Returns +Inf for a disabled
+// process. At bias 1 the draw is bit-identical to the unbiased path
+// (the /1 divide is exact).
 func (p *Process) SampleNext(src *rng.Source) float64 {
 	if p.Disabled() {
 		return math.Inf(1)
 	}
-	return -p.EffectiveMean() * math.Log(src.Float64Open())
+	return -p.mean / (p.accel * p.bias) * math.Log(src.Float64Open())
 }
 
 // Correlation maps the number of replicas with outstanding faults to the

@@ -61,6 +61,12 @@ type EstimateJSON struct {
 	Censored   int             `json:"censored"`
 	Events     EventCountsJSON `json:"events"`
 	Matrix     []CellJSON      `json:"matrix"`
+	// Bias and EffectiveSamples describe an importance-sampled run: the
+	// resolved failure-biasing factor β and the weighted estimator's
+	// effective loss count. Both omitted for unbiased runs, keeping
+	// historical encodings byte-identical.
+	Bias             *float64 `json:"bias,omitempty"`
+	EffectiveSamples *float64 `json:"effective_samples,omitempty"`
 }
 
 // NewEstimateJSON converts an estimate. horizonHours > 0 marks the run
@@ -91,6 +97,11 @@ func NewEstimateJSON(est sim.Estimate, horizonHours float64) EstimateJSON {
 	if horizonHours > 0 {
 		iv := NewIntervalJSON(est.LossProb)
 		out.LossProb = &iv
+	}
+	if est.Bias != 0 {
+		bias, ess := est.Bias, est.EffectiveSamples
+		out.Bias = &bias
+		out.EffectiveSamples = &ess
 	}
 	for _, first := range []faults.Type{faults.Visible, faults.Latent} {
 		for _, final := range []faults.Type{faults.Visible, faults.Latent} {

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// sampleEstimate is a small hand-built estimate for encoding tests.
+func sampleEstimate() sim.Estimate {
+	return sim.Estimate{
+		MTTDL:    stats.Interval{Point: 1000, Lo: 900, Hi: 1100, Level: 0.95},
+		LossProb: stats.Interval{Point: 0.01, Lo: 0.005, Hi: 0.015, Level: 0.95},
+		Trials:   500,
+		Censored: 495,
+	}
+}
+
+// TestEstimateJSONBiasFieldsAdditive is the backward-compat regression
+// for the PR 8 wire change: unbiased estimates encode byte-identically
+// to the historical schema (no bias keys at all), and biased estimates
+// differ only by the two appended fields.
+func TestEstimateJSONBiasFieldsAdditive(t *testing.T) {
+	plain, err := json.Marshal(NewEstimateJSON(sampleEstimate(), 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte(`"bias"`)) || bytes.Contains(plain, []byte(`"effective_samples"`)) {
+		t.Fatalf("unbiased encoding carries bias keys: %s", plain)
+	}
+
+	biasedEst := sampleEstimate()
+	biasedEst.Bias = 250
+	biasedEst.EffectiveSamples = 12.5
+	biased, err := json.Marshal(NewEstimateJSON(biasedEst, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"bias":250`, `"effective_samples":12.5`} {
+		if !bytes.Contains(biased, []byte(key)) {
+			t.Errorf("biased encoding missing %s: %s", key, biased)
+		}
+	}
+
+	// Key-by-key, the biased body is the unbiased body plus exactly the
+	// two new fields — nothing renamed, nothing dropped.
+	var plainMap, biasedMap map[string]json.RawMessage
+	if err := json.Unmarshal(plain, &plainMap); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(biased, &biasedMap); err != nil {
+		t.Fatal(err)
+	}
+	delete(biasedMap, "bias")
+	delete(biasedMap, "effective_samples")
+	if len(biasedMap) != len(plainMap) {
+		t.Fatalf("biased encoding has extra or missing fields beyond bias/effective_samples:\n%s\n%s", plain, biased)
+	}
+	for k, v := range plainMap {
+		if !bytes.Equal(v, biasedMap[k]) {
+			t.Errorf("field %q differs between unbiased %s and biased %s encodings", k, v, biasedMap[k])
+		}
+	}
+}

@@ -188,6 +188,14 @@ type EstimateRequest struct {
 	// MaxTrials caps an adaptive run (0 = the simulator's 1<<20
 	// default). Ignored for fixed-trial runs.
 	MaxTrials int `json:"max_trials,omitempty"`
+	// Bias controls importance-sampled failure biasing for rare-event
+	// runs: 0 (default) is plain Monte Carlo, -1 asks the analytic
+	// model to choose the boost factor β from the configuration and
+	// horizon, and any value >= 1 is used as β directly. Biased runs
+	// require a horizon and report the Horvitz–Thompson weighted
+	// estimate with its effective sample size. Mirrors
+	// sim.Options.Bias (-1 is sim.AutoBias).
+	Bias float64 `json:"bias,omitempty"`
 
 	// Progress asks /estimate to stream NDJSON progress frames followed
 	// by the final result frame, instead of a single JSON body. It is
@@ -299,6 +307,7 @@ func (r EstimateRequest) Build() (sim.Config, sim.Options, error) {
 		Level:          r.Level,
 		TargetRelWidth: r.TargetRelWidth,
 		MaxTrials:      r.MaxTrials,
+		Bias:           r.Bias,
 	}
 	return cfg, opt, nil
 }

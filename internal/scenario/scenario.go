@@ -203,6 +203,7 @@ var scalarParams = map[string]func(*EstimateRequest, float64){
 	"seed":                 func(r *EstimateRequest, v float64) { u := uint64(v); r.Seed = &u },
 	"level":                func(r *EstimateRequest, v float64) { r.Level = v },
 	"target_rel_width":     func(r *EstimateRequest, v float64) { r.TargetRelWidth = v },
+	"bias":                 func(r *EstimateRequest, v float64) { r.Bias = v },
 }
 
 // integerParams must carry non-negative integral values.

@@ -170,6 +170,8 @@ func TestStatsSnapshotBackwardCompatible(t *testing.T) {
 		"uptime_seconds", "cache", "scheduler",
 		// PR 7 additive fields.
 		"progress_inflight", "sweep_deduped",
+		// PR 8 additive field.
+		"biased_runs",
 	} {
 		if _, ok := top[key]; !ok {
 			t.Errorf("/stats missing %q: %s", key, body)

@@ -52,6 +52,9 @@ type Service struct {
 	// sweepDeduped counts, across all sweeps, indices that replayed
 	// another index's bytes via batch-wide fingerprint dedupe.
 	sweepDeduped atomic.Uint64
+	// biasedRuns counts simulations this service actually executed (not
+	// cache replays) under importance-sampled failure biasing.
+	biasedRuns atomic.Uint64
 }
 
 // New returns a started service (its scheduler workers are running).
@@ -138,6 +141,11 @@ func (s *Service) applyPolicy(req EstimateRequest) EstimateRequest {
 	if s.cfg.DefaultTargetRel > 0 && req.Trials == 0 && req.TargetRelWidth == 0 {
 		req.TargetRelWidth = s.cfg.DefaultTargetRel
 	}
+	// The bias default only reaches requests it could be valid for:
+	// biasing needs a censoring horizon.
+	if s.cfg.DefaultBias != 0 && req.Bias == 0 && req.HorizonYears > 0 {
+		req.Bias = s.cfg.DefaultBias
+	}
 	if cap := s.cfg.MaxTrialsCap; cap > 0 {
 		if req.TargetRelWidth > 0 {
 			if req.MaxTrials == 0 || req.MaxTrials > cap {
@@ -187,6 +195,9 @@ func (s *Service) resolve(req EstimateRequest) (key string, compute func(context
 		runner, err := sim.NewRunner(cfg)
 		if err != nil {
 			return nil, err
+		}
+		if opt.Bias != 0 {
+			s.biasedRuns.Add(1)
 		}
 		est, err := runner.EstimateContext(ctx, opt)
 		if err != nil {
@@ -265,6 +276,9 @@ type ProgressJSON struct {
 	LossProb *report.IntervalJSON `json:"loss_prob,omitempty"`
 	RelWidth *float64             `json:"rel_width,omitempty"`
 	Target   float64              `json:"target_rel_width,omitempty"`
+	// EffectiveSamples is the weighted estimator's effective loss count
+	// so far; omitted in unbiased runs (additive field).
+	EffectiveSamples *float64 `json:"effective_samples,omitempty"`
 }
 
 // newProgressJSON converts a snapshot.
@@ -288,6 +302,10 @@ func newProgressJSON(p sim.Progress) *ProgressJSON {
 	if p.LossProb.Level != 0 {
 		iv := report.NewIntervalJSON(p.LossProb)
 		out.LossProb = &iv
+	}
+	if p.EffectiveSamples > 0 {
+		ess := p.EffectiveSamples
+		out.EffectiveSamples = &ess
 	}
 	return out
 }
@@ -394,6 +412,9 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 	// Progress runs execute on the request goroutine, so the span
 	// timeline skips "queued" and marks "running" directly.
 	tr.Mark("running")
+	if opt.Bias != 0 {
+		s.biasedRuns.Add(1)
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
 	defer cancel()
 	var lastEmit time.Time
@@ -866,6 +887,10 @@ type StatsSnapshot struct {
 	// SweepDeduped is the cumulative count of sweep indices that
 	// replayed another index's bytes via batch-wide fingerprint dedupe.
 	SweepDeduped uint64 `json:"sweep_deduped"`
+	// BiasedRuns is the cumulative count of simulations executed (not
+	// cache replays) under importance-sampled failure biasing. Additive
+	// (PR 8); pre-existing consumers decode unchanged.
+	BiasedRuns uint64 `json:"biased_runs"`
 }
 
 // Stats snapshots the service counters.
@@ -879,6 +904,7 @@ func (s *Service) Stats() StatsSnapshot {
 		Scheduler:        s.sched.Stats(),
 		ProgressInflight: progressInflight,
 		SweepDeduped:     s.sweepDeduped.Load(),
+		BiasedRuns:       s.biasedRuns.Load(),
 	}
 }
 

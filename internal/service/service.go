@@ -89,6 +89,13 @@ type Config struct {
 	// this relative half-width — "give me the answer to 5%" as the
 	// server-wide default contract. Applied before fingerprinting.
 	DefaultTargetRel float64
+	// DefaultBias, when non-zero, applies importance-sampled failure
+	// biasing to horizon-censored requests that do not choose a bias
+	// mode themselves: -1 lets the analytic model pick the boost factor
+	// per configuration, >= 1 fixes an explicit β. Requests without a
+	// horizon are left unbiased (biasing requires one). Applied before
+	// fingerprinting, so the cached entry is the biased request's.
+	DefaultBias float64
 	// Logger receives one structured record per request (the request ID
 	// and span timeline) plus lifecycle events. Nil discards — tests and
 	// library embedders stay quiet by default; the daemon passes a JSON

@@ -33,6 +33,28 @@ type accumulator struct {
 	lossTimes stats.Running
 	lossProb  stats.Proportion
 	obs       stats.ObsBuffer
+
+	// weighted marks an importance-sampled (failure-biased) run. Batch
+	// accumulators then additionally buffer each trial's
+	// likelihood-ratio weight and outcome in trial order (wTrials), and
+	// the reducer replays the buffers into its own weighted estimators
+	// during the in-order merge — the exact pattern the Welford pass
+	// uses — so weighted float reductions, like unweighted ones, are
+	// bit-identical at any Parallel/BatchSize.
+	weighted bool
+	wTrials  []weightedObs
+	// wLoss and wTimes are only folded on the reducer side: the
+	// Horvitz–Thompson loss-probability estimator and the weighted
+	// spread of loss times.
+	wLoss  stats.WeightedProportion
+	wTimes stats.WeightedMean
+}
+
+// weightedObs is one buffered trial of a biased run: its
+// likelihood-ratio weight, end time, and outcome.
+type weightedObs struct {
+	w, t float64
+	lost bool
 }
 
 // addTrial folds one trial outcome, mirroring the historical aggregation
@@ -49,6 +71,9 @@ func (a *accumulator) addTrial(res TrialResult, horizon float64) {
 	}
 	if horizon > 0 {
 		a.lossProb.Add(res.Lost)
+	}
+	if a.weighted {
+		a.wTrials = append(a.wTrials, weightedObs{w: res.Weight, t: res.Time, lost: res.Lost})
 	}
 }
 
@@ -69,22 +94,41 @@ func (a *accumulator) merge(o *accumulator) {
 		a.lossTimes.Add(t)
 	}
 	a.obs.Merge(&o.obs)
+	for _, e := range o.wTrials {
+		a.wLoss.Add(e.lost, e.w)
+		if e.lost {
+			a.wTimes.Add(e.t, e.w)
+		}
+	}
 }
 
 // reset empties a batch accumulator for reuse, keeping allocations.
 func (a *accumulator) reset() {
 	obs := a.obs
 	obs.Reset()
-	*a = accumulator{obs: obs}
+	wt := a.wTrials[:0]
+	*a = accumulator{obs: obs, wTrials: wt}
 }
 
 // stopWidth returns the adaptive stopping criterion's current value: the
 // relative half-width of the LossProb Wilson interval when the run is
-// horizon-censored, else of the MTTDL Student-t interval over observed
-// loss times. +Inf while the criterion is not yet estimable (no trials,
+// horizon-censored — or of the weighted Horvitz–Thompson interval in a
+// biased run — else of the MTTDL Student-t interval over observed loss
+// times. +Inf while the criterion is not yet estimable (no trials,
 // fewer than two losses, or a zero point estimate), which simply defers
 // stopping to MaxTrials.
 func (a *accumulator) stopWidth(opt Options) float64 {
+	if a.weighted {
+		// Biased runs always have a horizon; stop on the weighted CI.
+		if a.wLoss.N() == 0 {
+			return math.Inf(1)
+		}
+		iv, err := a.wLoss.CI(opt.Level)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return iv.RelativeHalfWidth()
+	}
 	if opt.Horizon > 0 {
 		if a.lossProb.N() == 0 {
 			return math.Inf(1)
@@ -121,6 +165,38 @@ func (a *accumulator) finalize(opt Options) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("sim: fitting survival curve: %w", err)
 	}
 	est.Survival = km
+
+	if a.weighted {
+		// Biased run: Horvitz–Thompson estimates under the true
+		// measure. Survival above stays the raw Kaplan–Meier fit over
+		// the biased-measure trials — a diagnostic of what the sampler
+		// saw, not a corrected curve.
+		est.Bias = opt.Bias
+		est.EffectiveSamples = a.wLoss.EffectiveN()
+		iv, err := a.wLoss.CI(opt.Level)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("sim: weighted loss probability interval: %w", err)
+		}
+		est.LossProb = iv
+		if cv, err := a.wLoss.ControlVariateCI(opt.Level); err == nil {
+			est.LossProbCV = cv
+		}
+		// Weighted restricted mean H − Σ_lost w·(H − T)/n: the
+		// importance-sampled counterpart of the Kaplan–Meier restricted
+		// mean under fixed-horizon censoring, with the weighted loss
+		// times' spread (ESS-adjusted t-interval) as a rough interval.
+		rm := opt.Horizon
+		if lostW := a.wTimes.SumWeights(); lostW > 0 {
+			rm = opt.Horizon - lostW*(opt.Horizon-a.wTimes.Mean())/float64(a.trials)
+		}
+		if iv, err := a.wTimes.MeanCI(opt.Level); err == nil {
+			half := iv.HalfWidth()
+			est.MTTDL = stats.Interval{Point: rm, Lo: rm - half, Hi: rm + half, Level: opt.Level}
+		} else {
+			est.MTTDL = stats.Interval{Point: rm, Lo: rm, Hi: rm, Level: opt.Level}
+		}
+		return est, nil
+	}
 
 	switch {
 	case est.Censored == 0:
@@ -175,6 +251,15 @@ func (a *accumulator) snapshot(opt Options, batches, budget int) Progress {
 		if iv, err := a.lossTimes.MeanCI(opt.Level); err == nil {
 			p.MTTDL = iv
 		}
+	}
+	if a.weighted {
+		p.EffectiveSamples = a.wLoss.EffectiveN()
+		if a.wLoss.N() > 0 {
+			if iv, err := a.wLoss.CI(opt.Level); err == nil {
+				p.LossProb = iv
+			}
+		}
+		return p
 	}
 	if opt.Horizon > 0 && a.lossProb.N() > 0 {
 		if iv, err := a.lossProb.CI(opt.Level); err == nil {

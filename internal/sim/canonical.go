@@ -79,6 +79,14 @@ func Canonical(cfg Config, opt Options) (string, error) {
 		fmt.Fprintf(&b, ",targetRel:%s,maxTrials:%d,batch:%d",
 			canonFloat(opt.TargetRelWidth), opt.MaxTrials, opt.BatchSize)
 	}
+	if opt.Bias != 0 {
+		// Biased runs use a different estimator, so they must never
+		// collide with unbiased keys — which keep their historical,
+		// bias-free encoding. Encoding the *resolved* β makes AutoBias
+		// and the explicit factor it resolves to share a fingerprint
+		// (the resolution is a pure function of the config).
+		fmt.Fprintf(&b, ",bias:%s", canonFloat(resolveBias(&cfg, opt.Horizon, opt.Bias)))
+	}
 	b.WriteString("}")
 	return b.String(), nil
 }

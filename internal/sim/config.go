@@ -50,9 +50,11 @@
 //     historical sequential aggregation for the same (config, seed,
 //     trials) — regardless of Parallel and BatchSize. Integer aggregates
 //     merge exactly, the Kaplan–Meier fit depends only on the
-//     observation multiset, and the one order-sensitive reduction (the
-//     Welford pass over loss times) replays each batch's losses in trial
-//     order during the merge. golden_test.go pins this to the bit.
+//     observation multiset, and the order-sensitive reductions (the
+//     Welford pass over loss times and, in biased runs, the weighted
+//     estimators) replay each batch's observations in trial order during
+//     the merge. golden_test.go pins this to the bit; bias_test.go pins
+//     the weighted counterpart.
 //
 //   - Adaptive runs (TargetRelWidth > 0) stop at the first batch
 //     boundary where the stopping interval's relative half-width meets
@@ -62,8 +64,22 @@
 //     count — and therefore the result — is a pure function of (config,
 //     seed, target, MaxTrials, BatchSize), never of Parallel or timing.
 //
+// Importance-sampled runs (Options.Bias non-zero: an explicit factor or
+// AutoBias) keep both halves of the contract. Each trial's likelihood-
+// ratio weight is computed inside the trial from the same event stream —
+// biasing reshapes hazard draws, never the number or order of random
+// draws consumed per event — and the weighted (Horvitz–Thompson)
+// estimators are replay-merged in batch order exactly like the Welford
+// pass, so a biased run is bit-identical at any Parallel/BatchSize and
+// its adaptive variant stops deterministically on the weighted CI.
+// Unbiased runs never touch the weighted path: their results and
+// canonical keys are byte-identical to pre-bias builds.
+//
 // Canonical/Fingerprint encode the stopping rule into adaptive cache
-// keys while fixed-trial keys keep their historical form.
+// keys and the resolved bias factor into biased keys (AutoBias folds to
+// the factor it resolves to, so auto and equivalent-explicit requests
+// share a cache entry), while fixed-trial unbiased keys keep their
+// historical form.
 package sim
 
 import (

@@ -17,8 +17,10 @@ type runMetrics struct {
 	runs         *telemetry.Counter
 	runsAdaptive *telemetry.Counter
 	stoppedEarly *telemetry.Counter
+	biasedRuns   *telemetry.Counter
 	runSeconds   *telemetry.Histogram
 	relWidth     *telemetry.Histogram
+	effSamples   *telemetry.Histogram
 }
 
 // metricsPtr is the process-wide simulator instrument set; nil (the
@@ -40,9 +42,13 @@ func EnableMetrics(reg *telemetry.Registry) {
 		runs:         reg.Counter("sim_runs_total", "Estimation runs started."),
 		runsAdaptive: reg.Counter("sim_runs_adaptive_total", "Estimation runs driven by a sequential stopping rule."),
 		stoppedEarly: reg.Counter("sim_runs_stopped_early_total", "Adaptive runs that met their precision target before exhausting MaxTrials."),
+		biasedRuns:   reg.Counter("sim_biased_runs_total", "Estimation runs sampled under importance-sampling failure biasing."),
 		runSeconds:   reg.Histogram("sim_run_seconds", "Wall-clock duration of estimation runs.", telemetry.DurationBuckets),
 		relWidth: reg.Histogram("sim_adaptive_rel_width",
 			"Adaptive stopping criterion's relative CI half-width at batch boundaries — the convergence trajectory.", telemetry.WidthBuckets),
+		effSamples: reg.Histogram("sim_effective_sample_size",
+			"Effective loss count (ESS) of completed biased runs — how many equal-weight losses the weighted estimator really saw.",
+			[]float64{1, 3, 10, 30, 100, 300, 1e3, 3e3, 1e4, 3e4, 1e5}),
 	})
 }
 

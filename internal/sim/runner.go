@@ -63,6 +63,18 @@ type Options struct {
 	// trial runs are batch-size-invariant; adaptive runs stop only at
 	// multiples of it.
 	BatchSize int
+
+	// Bias enables importance-sampled failure biasing for rare-event
+	// runs: while any replica has an outstanding fault, every armed
+	// fault hazard is multiplied by β, and each trial carries the
+	// likelihood-ratio weight that corrects the estimate back to the
+	// true measure. 0 (the default) runs plain Monte Carlo,
+	// bit-identical to historical behavior. AutoBias asks the analytic
+	// model to choose β from the configuration's regime; any finite
+	// value >= 1 is used as β directly. Biased runs require a censoring
+	// Horizon and estimate LossProb with the Horvitz–Thompson weighted
+	// estimator; adaptive stopping then targets the weighted CI.
+	Bias float64
 }
 
 // adaptive reports whether the sequential stopping rule is active.
@@ -102,6 +114,12 @@ func (o Options) validate() error {
 	}
 	if math.IsNaN(o.TargetRelWidth) || o.TargetRelWidth < 0 || math.IsInf(o.TargetRelWidth, 1) {
 		return fmt.Errorf("%w: target relative width %v must be a finite value >= 0", ErrInvalidConfig, o.TargetRelWidth)
+	}
+	if math.IsNaN(o.Bias) || math.IsInf(o.Bias, 0) || (o.Bias != 0 && o.Bias != AutoBias && o.Bias < 1) {
+		return fmt.Errorf("%w: bias %v must be 0 (off), AutoBias, or a finite factor >= 1", ErrInvalidConfig, o.Bias)
+	}
+	if o.Bias != 0 && o.Horizon <= 0 {
+		return fmt.Errorf("%w: bias requires a censoring horizon", ErrInvalidConfig)
 	}
 	if o.adaptive() {
 		if o.MaxTrials < 2 {
@@ -163,6 +181,23 @@ type Estimate struct {
 	Stats TrialStats
 	// Matrix is the empirical Figure 2 double-fault matrix.
 	Matrix DoubleFaultMatrix
+	// Bias is the resolved failure-biasing factor β the run sampled
+	// under: 0 for an unbiased run, the model-chosen value for
+	// Options.Bias == AutoBias, the explicit factor otherwise.
+	Bias float64
+	// EffectiveSamples is the effective loss count (Σwy)²/Σ(wy)² of the
+	// weighted loss indicator in a biased run — the equal-weight number
+	// of observed losses carrying the same information. 0 for unbiased
+	// runs.
+	EffectiveSamples float64
+	// LossProbCV is the control-variate refinement of LossProb in a
+	// biased run: the Horvitz–Thompson estimate regression-adjusted
+	// against the likelihood-ratio weight, whose expectation is exactly
+	// 1 under the biased measure (stats.WeightedProportion.
+	// ControlVariateCI). Asymptotically never wider than LossProb; a
+	// diagnostic companion, not the primary estimate — LossProb drives
+	// adaptive stopping and the wire encodings. Zero for unbiased runs.
+	LossProbCV stats.Interval
 }
 
 // Progress is a point-in-time snapshot of a streaming estimation run,
@@ -188,6 +223,9 @@ type Progress struct {
 	// Budget is the run's maximum trial count (Trials, or MaxTrials in
 	// adaptive mode).
 	Budget int
+	// EffectiveSamples is the weighted estimator's effective loss count
+	// so far; 0 in unbiased runs.
+	EffectiveSamples float64
 	// Final marks the last snapshot of a completed run.
 	Final bool
 }
@@ -278,6 +316,13 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 	if err := opt.validate(); err != nil {
 		return Estimate{}, err
 	}
+	// Resolve the biasing factor once, so workers, the stopping rule,
+	// and the final Estimate all see the same effective β. An active
+	// Bias — even one that resolves to β = 1 — switches the run to the
+	// weighted estimator; only Bias == 0 is the historical path.
+	if opt.Bias != 0 {
+		opt.Bias = resolveBias(&r.cfg, opt.Horizon, opt.Bias)
+	}
 	// Batches are both the work-claim unit and the merge boundary, so a
 	// small fixed run under the default batch size would idle most
 	// workers (1000 trials / 256 = 4 claimable units). Fixed-trial
@@ -298,6 +343,9 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 		m.runs.Inc()
 		if opt.adaptive() {
 			m.runsAdaptive.Inc()
+		}
+		if opt.Bias != 0 {
+			m.biasedRuns.Inc()
 		}
 		runStart := time.Now()
 		defer func() { m.runSeconds.Observe(time.Since(runStart).Seconds()) }()
@@ -326,6 +374,7 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 			base := rng.New(opt.Seed)
 			var trialSrc rng.Source
 			t := allocTrial(&r.cfg, r.specs, nil)
+			t.setBiasFactor(opt.Bias)
 			for {
 				b := int(st.next.Add(1) - 1)
 				if int64(b) >= st.stopAt.Load() {
@@ -335,6 +384,7 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 				acc := pool.Get().(*accumulator)
 				acc.reset()
 				acc.batch = b
+				acc.weighted = opt.Bias != 0
 				for i := lo; i < hi; i++ {
 					select {
 					case <-done:
@@ -364,6 +414,7 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 	// count) both reaps in-flight batches after an early stop and makes
 	// worker exits — including cancellation — impossible to deadlock.
 	var global accumulator
+	global.weighted = opt.Bias != 0
 	pending := make(map[int]*accumulator)
 	folded := 0
 	target := numBatches
@@ -415,6 +466,9 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 	est, err := global.finalize(opt)
 	if err != nil {
 		return Estimate{}, err
+	}
+	if m != nil && opt.Bias != 0 {
+		m.effSamples.Observe(est.EffectiveSamples)
 	}
 	if sink != nil {
 		p := global.snapshot(opt, folded, st.budget)

@@ -63,6 +63,11 @@ type TrialResult struct {
 	// the coordinates of the paper's Figure 2 matrix. Valid only when
 	// Lost.
 	FirstFault, FinalFault faults.Type
+	// Weight is the likelihood-ratio weight dP/dQ of the trial's fault
+	// path when the trial ran under failure biasing, 1 otherwise.
+	// Horvitz–Thompson estimators multiply each observation by it to
+	// undo the biased sampling measure exactly.
+	Weight float64
 	// Stats counts trial events.
 	Stats TrialStats
 }
@@ -79,6 +84,13 @@ type replica struct {
 
 	visible *faults.Process
 	latent  *faults.Process
+
+	// visRate and latRate track the true (unbiased) hazard rates of the
+	// currently armed fault arrivals, for likelihood-ratio exposure
+	// accounting under failure biasing; 0 when the arrival is unarmed.
+	// Maintained only while biasing is on.
+	visRate float64
+	latRate float64
 
 	visibleEv *des.Handle // pending visible fault arrival
 	latentEv  *des.Handle // pending latent fault arrival
@@ -123,6 +135,20 @@ type trial struct {
 	lazyAudit bool
 
 	faulty int // replicas not healthy
+
+	// Failure biasing (importance sampling). While any replica is
+	// faulty, every armed fault arrival is accelerated by bias β and
+	// the trial accumulates the log likelihood ratio of the biased path:
+	// each biased arrival that fires contributes −ln β, and every armed
+	// biased process contributes (β−1)·λ_true per unit time of exposure
+	// (the survival-density ratio of the exponential draw). bias <= 1
+	// disables all of it and the trial is bit-identical to the
+	// historical unbiased path.
+	bias      float64 // β; 0 when biasing is off
+	logBias   float64 // ln β, precomputed
+	logW      float64 // accumulated log likelihood ratio ln(dP/dQ)
+	wSyncAt   float64 // simulation time logW exposure is accrued through
+	armedRate float64 // Σ true rates of currently armed fault arrivals
 
 	lost     bool
 	lossTime float64
@@ -180,8 +206,23 @@ func allocTrial(cfg *Config, specs []ReplicaSpec, trace *Trace) *trial {
 		}
 		r := &replica{visible: vis, latent: lat, src: &rng.Source{}}
 		i := i
-		r.fireVisible = func(*des.Engine) { t.onFault(i, faults.Visible, false) }
-		r.fireLatent = func(*des.Engine) { t.onFault(i, faults.Latent, false) }
+		// A biased arrival firing contributes the density-ratio factor
+		// 1/β; an arrival is biased exactly when it fires inside a
+		// faulty window (applyAcceleration re-samples every armed draw
+		// at each boost transition, so the pending draw always matches
+		// the current boost state).
+		r.fireVisible = func(*des.Engine) {
+			if t.bias > 1 && t.faulty > 0 {
+				t.logW -= t.logBias
+			}
+			t.onFault(i, faults.Visible, false)
+		}
+		r.fireLatent = func(*des.Engine) {
+			if t.bias > 1 && t.faulty > 0 {
+				t.logW -= t.logBias
+			}
+			t.onFault(i, faults.Latent, false)
+		}
 		r.fireDetect = func(*des.Engine) { t.onDetected(i) }
 		r.fireAudit = func(*des.Engine) {
 			t.onAudit(i)
@@ -216,6 +257,9 @@ func (t *trial) start(src *rng.Source) {
 	t.lossTime = 0
 	t.first, t.final = 0, 0
 	t.stats = TrialStats{}
+	t.logW = 0
+	t.wSyncAt = 0
+	t.armedRate = 0
 	for i, r := range t.reps {
 		src.DeriveInto(uint64(i)+1, r.src)
 		r.state = stateHealthy
@@ -224,6 +268,12 @@ func (t *trial) start(src *rng.Source) {
 		r.visibleEv, r.latentEv, r.detectEv, r.repairEv = nil, nil, nil, nil
 		r.visible.SetAcceleration(1)
 		r.latent.SetAcceleration(1)
+		if t.bias > 1 {
+			// No replica is faulty at t=0, so sampling starts unbiased.
+			r.visible.SetBias(1)
+			r.latent.SetBias(1)
+			r.visRate, r.latRate = 0, 0
+		}
 	}
 	// Arm the initial fault arrivals and audit schedules.
 	for i := range t.reps {
@@ -246,7 +296,7 @@ func (t *trial) run(horizon float64) TrialResult {
 	} else {
 		t.eng.Run()
 	}
-	res := TrialResult{Lost: t.lost, Stats: t.stats}
+	res := TrialResult{Lost: t.lost, Stats: t.stats, Weight: 1}
 	if t.lost {
 		res.Time = t.lossTime
 		res.FirstFault = t.first
@@ -254,7 +304,52 @@ func (t *trial) run(horizon float64) TrialResult {
 	} else {
 		res.Time = horizon
 	}
+	if t.bias > 1 {
+		if !t.lost && horizon > 0 && t.faulty > 0 {
+			// Censored with an open faulty window: the still-armed biased
+			// draws survived to the horizon, contributing their survival
+			// ratio over the un-synced tail.
+			t.logW += (t.bias - 1) * t.armedRate * (horizon - t.wSyncAt)
+		}
+		res.Weight = math.Exp(t.logW)
+	}
 	return res
+}
+
+// setBiasFactor configures failure biasing for every trial this
+// allocation runs: while any replica is faulty, armed fault arrivals
+// sample at β times their true hazard and the trial tracks the
+// likelihood-ratio weight that corrects the estimate. beta <= 1 turns
+// biasing off entirely (the historical, weightless path).
+func (t *trial) setBiasFactor(beta float64) {
+	if beta > 1 {
+		t.bias = beta
+		t.logBias = math.Log(beta)
+	} else {
+		t.bias = 0
+		t.logBias = 0
+	}
+}
+
+// wSync accrues likelihood-ratio exposure for the interval since the
+// last sync: while faulty, every armed biased draw contributes
+// (β−1)·λ_true per unit time. Callers must sync before mutating
+// t.faulty or any armed rate, so the elapsed interval is charged under
+// the state it actually ran in.
+func (t *trial) wSync() {
+	now := t.eng.Now()
+	if t.faulty > 0 && now > t.wSyncAt {
+		t.logW += (t.bias - 1) * t.armedRate * (now - t.wSyncAt)
+	}
+	t.wSyncAt = now
+}
+
+// noteRate records that a tracked armed-arrival hazard slot changed,
+// accruing exposure up to now first.
+func (t *trial) noteRate(slot *float64, nr float64) {
+	t.wSync()
+	t.armedRate += nr - *slot
+	*slot = nr
 }
 
 // armVisible schedules the next visible fault for replica i if eligible.
@@ -265,14 +360,19 @@ func (t *trial) armVisible(i int) {
 	r := t.reps[i]
 	r.visibleEv.Cancel()
 	r.visibleEv = nil
-	if r.state == stateRepairing || r.visible.Disabled() {
-		return
+	if r.state != stateRepairing && !r.visible.Disabled() {
+		delay := r.visible.SampleNext(r.src)
+		if !math.IsInf(delay, 1) {
+			r.visibleEv = t.eng.ScheduleAfter(delay, r.fireVisible)
+		}
 	}
-	delay := r.visible.SampleNext(r.src)
-	if math.IsInf(delay, 1) {
-		return
+	if t.bias > 1 {
+		nr := 0.0
+		if r.visibleEv != nil {
+			nr = 1 / r.visible.EffectiveMean()
+		}
+		t.noteRate(&r.visRate, nr)
 	}
-	r.visibleEv = t.eng.ScheduleAfter(delay, r.fireVisible)
 }
 
 // armLatent schedules the next latent fault for replica i if healthy.
@@ -280,14 +380,19 @@ func (t *trial) armLatent(i int) {
 	r := t.reps[i]
 	r.latentEv.Cancel()
 	r.latentEv = nil
-	if r.state != stateHealthy || r.latent.Disabled() {
-		return
+	if r.state == stateHealthy && !r.latent.Disabled() {
+		delay := r.latent.SampleNext(r.src)
+		if !math.IsInf(delay, 1) {
+			r.latentEv = t.eng.ScheduleAfter(delay, r.fireLatent)
+		}
 	}
-	delay := r.latent.SampleNext(r.src)
-	if math.IsInf(delay, 1) {
-		return
+	if t.bias > 1 {
+		nr := 0.0
+		if r.latentEv != nil {
+			nr = 1 / r.latent.EffectiveMean()
+		}
+		t.noteRate(&r.latRate, nr)
 	}
-	r.latentEv = t.eng.ScheduleAfter(delay, r.fireLatent)
 }
 
 // scrubFor returns the audit strategy for replica i.
@@ -485,6 +590,10 @@ func (t *trial) startRepair(i int) {
 	r.latentEv = nil
 	r.detectEv.Cancel()
 	r.detectEv = nil
+	if t.bias > 1 {
+		t.noteRate(&r.visRate, 0)
+		t.noteRate(&r.latRate, 0)
+	}
 	d := t.specs[i].Repair.Duration(r.faultKind == faults.Visible, r.src)
 	r.repairEv = t.eng.ScheduleAfter(d, r.fireRepaired)
 	t.traceEvent(t.eng.Now(), i, eventRepairStart, r.faultKind, false)
@@ -513,6 +622,12 @@ func (t *trial) onRepaired(i int) {
 // setFaulty transitions replica i into the faulty population and checks
 // for data loss.
 func (t *trial) setFaulty(i int, kind faults.Type) {
+	if t.bias > 1 {
+		// Accrue exposure under the pre-transition boost state before
+		// the faulty count (and with it the biased/unbiased regime)
+		// changes.
+		t.wSync()
+	}
 	t.faulty++
 	if t.faulty == t.lossAt {
 		t.lost = true
@@ -527,24 +642,38 @@ func (t *trial) setFaulty(i int, kind faults.Type) {
 
 // setHealthy transitions replica i back into the healthy population.
 func (t *trial) setHealthy(int) {
+	if t.bias > 1 {
+		t.wSync()
+	}
 	t.faulty--
 	t.applyAcceleration()
 }
 
 // applyAcceleration re-arms the fault processes of non-faulty replicas
-// with the correlation model's current hazard multiplier. Valid because
-// the processes are memoryless: resampling the remaining wait preserves
-// the distribution.
+// with the correlation model's current hazard multiplier, and — under
+// failure biasing — switches every replica's sampling bias on or off
+// with the faulty window. Valid because the processes are memoryless:
+// resampling the remaining wait preserves the distribution. The bias
+// term in the re-arm condition is what guarantees a pending draw always
+// matches the current boost regime (with Independent correlation it is
+// the only trigger on a faulty transition), so "fired while faulty" is
+// exactly "drawn biased".
 func (t *trial) applyAcceleration() {
 	accel := t.cfg.Correlation.Acceleration(t.faulty)
+	boost := 1.0
+	if t.bias > 1 && t.faulty > 0 {
+		boost = t.bias
+	}
 	for i, r := range t.reps {
 		target := 1.0
 		if r.state == stateHealthy {
 			target = accel
 		}
-		if r.visible.Acceleration() != target || r.latent.Acceleration() != target {
+		if r.visible.Acceleration() != target || r.latent.Acceleration() != target || r.visible.Bias() != boost {
 			r.visible.SetAcceleration(target)
 			r.latent.SetAcceleration(target)
+			r.visible.SetBias(boost)
+			r.latent.SetBias(boost)
 			t.armVisible(i)
 			t.armLatent(i)
 		}

@@ -41,6 +41,23 @@
 //		log.Printf("%d/%d trials, rel width %.3f", p.Trials, p.Budget, p.RelWidth)
 //	})
 //
+// When loss is genuinely rare — high replication, fast repair — even a
+// precision-targeted run burns its budget waiting for losses. Setting
+// Bias switches the run to importance sampling: fault hazards on the
+// survivors are accelerated while any replica is faulty, each trial
+// carries its likelihood-ratio weight, and the Horvitz–Thompson
+// weighted estimate is unbiased at a fraction of the trials (see
+// BENCH_rare.json; typically >10x fewer at equal CI width). AutoBias
+// lets the analytic model pick the boost; biased runs require a
+// Horizon and report Estimate.Bias and Estimate.EffectiveSamples:
+//
+//	est, _ = r.Estimate(repro.SimOptions{
+//		Seed:    1,
+//		Horizon: repro.YearsToHours(10),
+//		Bias:    repro.AutoBias,         // or an explicit factor >= 1
+//		Trials:  5000,
+//	})
+//
 // Heterogeneous fleets (§6.1–§6.2): SimConfig.Specs gives each replica
 // its own fault means, audit schedule, detection channel, repair policy,
 // and tier label; FleetConfig builds such a config from named storage
@@ -212,8 +229,13 @@ type ReplicaSpec = sim.ReplicaSpec
 
 // SimOptions controls a Monte Carlo estimation run. TargetRelWidth and
 // MaxTrials switch it to adaptive (precision-targeted) mode; BatchSize
-// sets the streaming reduce's merge granularity.
+// sets the streaming reduce's merge granularity; Bias enables
+// importance-sampled failure biasing for rare-event runs.
 type SimOptions = sim.Options
+
+// AutoBias, as SimOptions.Bias, asks the analytic model to choose the
+// failure-biasing factor from the configuration and horizon.
+const AutoBias = sim.AutoBias
 
 // SimProgress is a point-in-time snapshot of a streaming estimation run,
 // delivered to Runner.EstimateStream's sink at batch boundaries.
