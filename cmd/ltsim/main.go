@@ -52,7 +52,11 @@
 //	             request ID (X-Ltsimd-Request, for correlating with the
 //	             daemon's request log) go to stderr. With
 //	             -progress the daemon streams NDJSON frames: progress
-//	             renders on stderr, the final result on stdout
+//	             renders on stderr, the final result on stdout.
+//	             Connection failures and 503s retry with jittered
+//	             exponential backoff, bounded by -retries — so a daemon
+//	             restart or a briefly saturated queue doesn't fail a
+//	             scripted sweep
 //
 // Local -json output and a daemon response for the same flags are
 // byte-identical: both build the same sim.Config through the same
@@ -83,6 +87,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strconv"
@@ -120,6 +125,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "report live progress on stderr while the run executes")
 		biasMode  = flag.String("bias", "off", "rare-event importance sampling: off, auto (model-chosen boost), or an explicit factor >= 1; requires -horizon")
 		scenPath  = flag.String("scenario", "", "path to a scenario document (JSON); expand and run the sweep locally, or relay it to -server (single-run flags are ignored)")
+		retries   = flag.Int("retries", 3, "with -server: retry attempts after a connection failure or 503 (jittered exponential backoff; 0 = fail fast)")
 	)
 	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
 		replicaFlags = append(replicaFlags, v)
@@ -153,7 +159,7 @@ func main() {
 		bug: *bug, wear: *wear, replicaSpecs: replicaFlags,
 		asJSON: *asJSON, server: *server,
 		targetRel: *targetRel, maxTrials: *maxTrials, progress: *progress,
-		bias: bias, scenarioPath: *scenPath,
+		bias: bias, scenarioPath: *scenPath, retries: *retries,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -175,6 +181,7 @@ type config struct {
 	progress         bool
 	bias             float64
 	scenarioPath     string
+	retries          int
 }
 
 // parseBias maps the -bias flag onto the wire value: 0 off, sim.AutoBias
@@ -287,14 +294,14 @@ func buildRequest(c config) (service.EstimateRequest, error) {
 
 func run(c config) error {
 	if c.scenarioPath != "" {
-		return runScenario(c.scenarioPath, c.server)
+		return runScenario(c.scenarioPath, c.server, c.retries)
 	}
 	req, err := buildRequest(c)
 	if err != nil {
 		return err
 	}
 	if c.server != "" {
-		return runRemote(c.server, req)
+		return runRemote(c.server, req, c.retries)
 	}
 
 	cfg, opt, err := req.Build()
@@ -338,7 +345,7 @@ func run(c config) error {
 // result lines are byte-identical between the two against a daemon with
 // no request policy (local runs cannot know a remote -target-rel /
 // -max-trials policy); only ordering and the summary line differ.
-func runScenario(path, server string) error {
+func runScenario(path, server string, retries int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -348,7 +355,7 @@ func runScenario(path, server string) error {
 		return err
 	}
 	if server != "" {
-		return relayScenario(server, doc)
+		return relayScenario(server, doc, retries)
 	}
 	points, err := scenario.Expand(doc)
 	if err != nil {
@@ -391,15 +398,59 @@ func runScenarioPoint(pt scenario.Point) service.SweepLine {
 	return line
 }
 
+// postWithRetry posts body to url, retrying on connection failure or a
+// 503 (the daemon's backpressure answer, or a cluster router with every
+// worker momentarily ejected) with jittered exponential backoff: 100ms
+// base doubling to a 2s cap, each sleep stretched by up to half its
+// length again so synchronized clients (a sweep script fanning out, a
+// daemon restarting under systemd) don't re-arrive in lockstep. retries
+// bounds the attempts after the first; any other status — including
+// 4xx, which a retry can never fix — returns immediately.
+func postWithRetry(url string, body []byte, retries int) (*http.Response, error) {
+	const (
+		baseDelay = 100 * time.Millisecond
+		maxDelay  = 2 * time.Second
+	)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if err == nil {
+			if attempt >= retries {
+				// Hand the final 503 to the caller so its status-specific
+				// error rendering (request ID and all) still applies.
+				return resp, nil
+			}
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+		} else {
+			lastErr = err
+			if attempt >= retries {
+				return nil, lastErr
+			}
+		}
+		delay := baseDelay << attempt
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+		delay += time.Duration(rand.Int64N(int64(delay)/2 + 1))
+		fmt.Fprintf(os.Stderr, "ltsim: %v; retrying in %s (%d/%d)\n", lastErr, delay.Round(time.Millisecond), attempt+1, retries)
+		time.Sleep(delay)
+	}
+}
+
 // relayScenario posts the document to a running ltsimd for server-side
 // expansion and streams the NDJSON sweep back verbatim.
-func relayScenario(base string, doc scenario.Document) error {
+func relayScenario(base string, doc scenario.Document, retries int) error {
 	body, err := json.Marshal(service.SweepRequest{Scenario: &doc})
 	if err != nil {
 		return err
 	}
 	url := strings.TrimSuffix(base, "/") + "/sweep"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := postWithRetry(url, body, retries)
 	if err != nil {
 		return err
 	}
@@ -437,13 +488,13 @@ func printProgress(p sim.Progress) {
 // Progress set the daemon streams NDJSON frames: progress lines render
 // on stderr and the final frame's result — the same bytes a plain
 // request serves — lands on stdout.
-func runRemote(base string, req service.EstimateRequest) error {
+func runRemote(base string, req service.EstimateRequest, retries int) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
 	url := strings.TrimSuffix(base, "/") + "/estimate"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := postWithRetry(url, body, retries)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPostWithRetryRecovers: a server that sheds the first attempts with
+// 503 is retried until it answers, and the winning response flows back.
+func TestPostWithRetryRecovers(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "queue full", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	resp, err := postWithRetry(ts.URL, []byte(`{}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after retries", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two shed, one served)", got)
+	}
+}
+
+// TestPostWithRetryExhausted: when every attempt is shed the final 503
+// response is handed back (not swallowed into a bare error), and the
+// attempt count honors the bound.
+func TestPostWithRetryExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	resp, err := postWithRetry(ts.URL, []byte(`{}`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the final 503 surfaced", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestPostWithRetryNoRetryOn4xx: client errors return immediately — a
+// retry can never fix a bad request.
+func TestPostWithRetryNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad alpha", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	resp, err := postWithRetry(ts.URL, []byte(`{}`), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 passed through", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", got)
+	}
+}
+
+// TestPostWithRetryConnectionRefused: a dead address exhausts the bound
+// and reports the transport error.
+func TestPostWithRetryConnectionRefused(t *testing.T) {
+	if _, err := postWithRetry("http://127.0.0.1:1/estimate", []byte(`{}`), 1); err == nil {
+		t.Fatal("expected a connection error from a dead port")
+	}
+}

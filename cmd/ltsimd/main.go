@@ -1,9 +1,12 @@
 // Command ltsimd serves the Monte Carlo reliability estimator as a
 // long-running daemon: canonical request hashing, a content-addressed
 // LRU result cache, and a sharded worker pool, so repeat what-if queries
-// cost a cache lookup instead of a full simulation.
+// cost a cache lookup instead of a full simulation. With -cache-dir a
+// persistent content-addressed store (internal/store) sits under the
+// memory cache: results survive restarts and a warm daemon replays
+// bit-identical bytes from disk (X-Ltsimd-Cache: disk).
 //
-//	ltsimd -addr :8356
+//	ltsimd -addr :8356 -cache-dir /var/cache/ltsimd
 //	curl -s localhost:8356/healthz
 //	curl -s -X POST localhost:8356/estimate -d '{"alpha":0.1,"trials":2000}'
 //	curl -s -X POST localhost:8356/sweep -d '{"requests":[{"replicas":2},{"replicas":3}]}'
@@ -39,6 +42,7 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -55,6 +59,8 @@ func main() {
 		biasMode   = flag.String("bias", "off", "server-wide rare-event default: horizon-censored requests that don't choose a bias mode run importance-sampled — auto (model-chosen boost) or an explicit factor >= 1 (off = plain Monte Carlo)")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (healthz/metrics traffic logs at debug)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on -addr)")
+		cacheDir   = flag.String("cache-dir", "", "persistent result-store directory layered under the in-memory cache (empty = memory only); a warm dir survives restarts and replays bit-identical bytes")
+		cacheDisk  = flag.Int64("cache-disk-bytes", 1<<30, "disk-store GC bound in file bytes (0 = unbounded); least-recently-used entries are deleted over this")
 	)
 	flag.Parse()
 
@@ -71,6 +77,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var diskStore store.Store
+	if *cacheDir != "" {
+		ds, err := store.OpenDisk(*cacheDir, *cacheDisk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltsimd:", err)
+			os.Exit(2)
+		}
+		logger.Info("disk store open", "dir", *cacheDir, "entries", ds.Len(), "max_bytes", *cacheDisk)
+		diskStore = ds
+	}
+
 	if err := run(*addr, *debugAddr, *drain, logger, service.Config{
 		CacheSize:        *cacheSize,
 		Shards:           *shards,
@@ -81,6 +98,7 @@ func main() {
 		MaxTrialsCap:     *maxTrials,
 		DefaultBias:      bias,
 		Logger:           logger,
+		Store:            diskStore,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsimd:", err)
 		os.Exit(1)

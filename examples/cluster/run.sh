@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Boot a 2-worker ltsimd cluster behind the ltsimr router, prove the
+# cluster-level cache properties, and tear everything down:
+#
+#   1. cold scenario sweep through the router (expanded once, fanned
+#      across both workers, every line node-attributed),
+#   2. warm repeat — cluster-wide cache hits, byte-identical lines,
+#   3. kill one worker mid-sweep — the router ejects it and completes
+#      the sweep on the survivor,
+#   4. restart the dead worker over its cache dir — the health probe
+#      re-admits it, and its disk tier still holds its shard's answers.
+#
+# Run from the repository root:
+#
+#   ./examples/cluster/run.sh
+set -euo pipefail
+
+WORK=$(mktemp -d)
+trap 'kill $(jobs -pr) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
+
+echo "== building =="
+go build -o "$WORK/ltsimd" ./cmd/ltsimd
+go build -o "$WORK/ltsimr" ./cmd/ltsimr
+
+echo "== starting 2 workers + router =="
+"$WORK/ltsimd" -addr 127.0.0.1:8361 -cache-dir "$WORK/cache-a" -log-level warn &
+W1=$!
+"$WORK/ltsimd" -addr 127.0.0.1:8362 -cache-dir "$WORK/cache-b" -log-level warn &
+"$WORK/ltsimr" -addr 127.0.0.1:8355 -probe 300ms -log-level warn \
+  -worker 127.0.0.1:8361 -worker 127.0.0.1:8362 &
+for i in $(seq 1 50); do
+  curl -sf 127.0.0.1:8355/healthz >/dev/null && break
+  sleep 0.2
+done
+curl -s 127.0.0.1:8355/healthz | python3 -m json.tool
+
+echo "== cold sweep through the router (node-attributed) =="
+printf '{"scenario":%s}' "$(cat examples/scenario-sweep/scenario.json)" > "$WORK/doc.json"
+curl -sf -X POST 127.0.0.1:8355/sweep -d @"$WORK/doc.json" | tee "$WORK/cold.ndjson" | tail -n 1
+
+echo "== warm sweep: cluster-wide cache hits, identical bytes =="
+curl -sf -X POST 127.0.0.1:8355/sweep -d @"$WORK/doc.json" | tee "$WORK/warm.ndjson" | tail -n 1
+grep -v '"summary"' "$WORK/cold.ndjson" | sort > "$WORK/cold.sorted"
+grep -v '"summary"' "$WORK/warm.ndjson" | sort > "$WORK/warm.sorted"
+cmp "$WORK/cold.sorted" "$WORK/warm.sorted" && echo "warm lines byte-identical to cold"
+
+echo "== killing worker 1 mid-sweep =="
+curl -sf -X POST 127.0.0.1:8355/sweep \
+  -d '{"scenario":{"v":1,"base":{"trials":30000,"horizon_years":50},"grid":[{"param":"alpha","values":[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8]}]}}' \
+  -o "$WORK/kill.ndjson" &
+SWEEP=$!
+sleep 1
+kill -9 "$W1" 2>/dev/null || true
+wait "$SWEEP"
+tail -n 1 "$WORK/kill.ndjson"
+sleep 1
+curl -s 127.0.0.1:8355/healthz | grep -o '"status":"[a-z]*"'
+
+echo "== restarting worker 1 over its cache dir =="
+"$WORK/ltsimd" -addr 127.0.0.1:8361 -cache-dir "$WORK/cache-a" -log-level warn &
+for i in $(seq 1 50); do
+  sleep 0.2
+  curl -s 127.0.0.1:8355/healthz | grep -q '"status":"ok"' && break
+done
+curl -s 127.0.0.1:8355/healthz | grep -o '"status":"[a-z]*"'
+echo "== cluster stats (per-node warmth) =="
+curl -s 127.0.0.1:8355/stats | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+print("cluster hit rate %.2f (%d hits / %d misses), %d/%d nodes healthy, %d retries, %d ejections" % (
+    s["cluster_hit_rate"], s["cluster_hits"], s["cluster_misses"],
+    s["healthy_nodes"], s["nodes"], s["retries"], s["ejections"]))
+'
+echo "done"

@@ -1,0 +1,794 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config sizes a Router.
+type Config struct {
+	// Workers are the ltsimd base URLs the ring hashes over. Names
+	// default to the URL stripped of its scheme.
+	Workers []Worker
+	// VNodes is the virtual-node count per worker; 0 means 64.
+	VNodes int
+	// LoadFactor is the bounded-load ceiling multiplier; 0 means 1.25.
+	LoadFactor float64
+	// ProbeInterval paces the health prober; 0 means 2s. ProbeTimeout
+	// bounds one probe; 0 means 1s.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// SweepConcurrency bounds concurrently dispatched sweep points; 0
+	// means 8 per worker.
+	SweepConcurrency int
+	// Client performs upstream requests; nil uses a default with no
+	// overall timeout (sweep responses stream for as long as the
+	// simulations take; per-probe timeouts are separate).
+	Client *http.Client
+	// Logger receives lifecycle events (ejections, re-admissions); nil
+	// discards. Metrics is the registry GET /metrics exposes; nil
+	// creates a fresh one.
+	Logger  *slog.Logger
+	Metrics *telemetry.Registry
+}
+
+// Worker names one ltsimd instance.
+type Worker struct {
+	Name string
+	URL  string
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.SweepConcurrency <= 0 {
+		c.SweepConcurrency = 8 * len(c.Workers)
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// flight is one in-flight upstream computation; duplicate keys wait on
+// done and replay the owner's outcome — the router half of cluster-wide
+// single-flight (the worker's shard scheduler is the other half, for
+// duplicates that slip past the router, e.g. from clients hitting
+// workers directly).
+type flight struct {
+	done chan struct{}
+	res  *upstream
+	err  error
+}
+
+// upstream is one worker response, buffered for replay to coalesced
+// waiters.
+type upstream struct {
+	node    string
+	status  int
+	cache   string // the worker's X-Ltsimd-Cache disposition
+	key     string // the worker's X-Ltsimd-Key (its cache key, policy folded in)
+	body    []byte
+	retried int
+}
+
+// Router is the stateless cluster front. Create with New, serve
+// Handler, stop with Close.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	mux    *http.ServeMux
+	client *http.Client
+	logger *slog.Logger
+	start  time.Time
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	probeStop   context.CancelFunc
+	probeDone   chan struct{}
+	coalesced   atomic.Uint64
+	retries     atomic.Uint64
+	ejections   atomic.Uint64
+	readmits    atomic.Uint64
+	routedTotal atomic.Uint64
+
+	metrics *routerMetrics
+}
+
+type routerMetrics struct {
+	reg       *telemetry.Registry
+	requests  *telemetry.CounterVec // node
+	coalesced *telemetry.Counter
+	retries   *telemetry.Counter
+	ejections *telemetry.Counter
+	readmits  *telemetry.Counter
+}
+
+// New builds a started router (its health prober is running).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	nodes := make([]*Node, 0, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		url := strings.TrimSuffix(w.URL, "/")
+		if url == "" {
+			return nil, errors.New("router: worker URL must not be empty")
+		}
+		name := w.Name
+		if name == "" {
+			name = strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+		}
+		nodes = append(nodes, &Node{Name: name, URL: url})
+	}
+	ring, err := NewRing(nodes, cfg.VNodes, cfg.LoadFactor)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      ring,
+		mux:       http.NewServeMux(),
+		client:    cfg.Client,
+		logger:    cfg.Logger,
+		start:     time.Now(),
+		flights:   make(map[string]*flight),
+		probeDone: make(chan struct{}),
+	}
+	r.metrics = &routerMetrics{
+		reg: reg,
+		requests: reg.CounterVec("ltsimr_requests_total",
+			"Upstream requests dispatched, by worker.", "node"),
+		coalesced: reg.Counter("ltsimr_coalesced_total",
+			"Requests that joined an in-flight duplicate at the router instead of dispatching."),
+		retries: reg.Counter("ltsimr_retries_total",
+			"Dispatches retried on a successor node after a worker failed mid-request."),
+		ejections: reg.Counter("ltsimr_ejections_total",
+			"Workers ejected from the ring (probe failure or request-time death)."),
+		readmits: reg.Counter("ltsimr_readmissions_total",
+			"Ejected workers re-admitted by a succeeding health probe."),
+	}
+	reg.GaugeFunc("ltsimr_nodes_healthy", "Workers currently admitted to the ring.", func() float64 {
+		return float64(r.ring.HealthyCount())
+	})
+	reg.GaugeFunc("ltsimr_nodes_total", "Workers configured in the ring.", func() float64 {
+		return float64(len(r.ring.Nodes()))
+	})
+	reg.GaugeFunc("ltsimr_uptime_seconds", "Seconds since the router started.", func() float64 {
+		return time.Since(r.start).Seconds()
+	})
+	inflight := reg.GaugeVec("ltsimr_node_inflight", "In-flight upstream requests per worker.", "node")
+	for _, n := range ring.Nodes() {
+		node := n
+		inflight.Func(func() float64 { return float64(node.Inflight()) }, node.Name)
+	}
+
+	r.mux.HandleFunc("POST /estimate", r.handleEstimate)
+	r.mux.HandleFunc("POST /sweep", r.handleSweep)
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /stats", r.handleStats)
+	r.mux.Handle("GET /metrics", reg.Handler())
+
+	probeCtx, cancel := context.WithCancel(context.Background())
+	r.probeStop = cancel
+	go r.probe(probeCtx)
+	return r, nil
+}
+
+// Handler returns the HTTP surface.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Ring exposes the ring for stats and tests.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Close stops the health prober.
+func (r *Router) Close() {
+	r.probeStop()
+	<-r.probeDone
+}
+
+// probe is the health loop: a failing /healthz ejects a worker from the
+// ring, a succeeding one re-admits it. An ejected worker keeps its ring
+// positions, so re-admission restores the same key ownership (and the
+// warm cache behind it).
+func (r *Router) probe(ctx context.Context) {
+	defer close(r.probeDone)
+	tick := time.NewTicker(r.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for _, n := range r.ring.Nodes() {
+			ok := r.probeOnce(ctx, n)
+			switch {
+			case ok && n.setHealthy(true):
+				r.readmits.Add(1)
+				r.metrics.readmits.Inc()
+				r.logger.Info("worker re-admitted", "node", n.Name, "url", n.URL)
+			case !ok && n.setHealthy(false):
+				r.ejections.Add(1)
+				r.metrics.ejections.Inc()
+				r.logger.Warn("worker ejected by health probe", "node", n.Name, "url", n.URL)
+			}
+		}
+	}
+}
+
+// probeOnce asks one worker's /healthz.
+func (r *Router) probeOnce(ctx context.Context, n *Node) bool {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// writeError emits a JSON error body, mirroring the worker's shape.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// routingKey fingerprints a request for ring placement and coalescing.
+// The router applies no request policy (workers fold their own
+// -target-rel/-max-trials/-bias defaults in before caching), so this key
+// can differ from the worker's cache key — it only needs to be
+// consistent: identical requests hash identically, so they land on the
+// same worker and coalesce with each other.
+func routingKey(req service.EstimateRequest) (string, error) {
+	cfg, opt, err := req.Build()
+	if err != nil {
+		return "", err
+	}
+	return sim.Fingerprint(cfg, opt)
+}
+
+// dispatch sends body to the worker owning key, retrying on the ring
+// successor when a worker dies mid-request (transport error ⇒ immediate
+// ejection; the prober re-admits it when it recovers). HTTP error
+// statuses are the worker *answering* — backpressure 503s and 4xxs pass
+// through untouched for the client's own retry policy.
+func (r *Router) dispatch(ctx context.Context, key string, body []byte) (*upstream, error) {
+	var exclude []string
+	for {
+		node, err := r.ring.Pick(key, exclude...)
+		if err != nil {
+			return nil, err
+		}
+		node.acquire()
+		r.routedTotal.Add(1)
+		r.metrics.requests.With(node.Name).Inc()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL+"/estimate", bytes.NewReader(body))
+		if err != nil {
+			node.release()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			node.release()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// The worker died under us: eject it and retry the request on
+			// the ring successor.
+			if node.setHealthy(false) {
+				r.ejections.Add(1)
+				r.metrics.ejections.Inc()
+				r.logger.Warn("worker ejected on request failure", "node", node.Name, "err", err.Error())
+			}
+			exclude = append(exclude, node.Name)
+			r.retries.Add(1)
+			r.metrics.retries.Inc()
+			continue
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		node.release()
+		if err != nil {
+			// Died mid-body: same ejection + successor retry. The
+			// successor recomputes (or disk-replays) deterministically, so
+			// the retried answer is the same bytes the dead worker would
+			// have sent.
+			if node.setHealthy(false) {
+				r.ejections.Add(1)
+				r.metrics.ejections.Inc()
+				r.logger.Warn("worker ejected mid-response", "node", node.Name, "err", err.Error())
+			}
+			exclude = append(exclude, node.Name)
+			r.retries.Add(1)
+			r.metrics.retries.Inc()
+			continue
+		}
+		return &upstream{
+			node:    node.Name,
+			status:  resp.StatusCode,
+			cache:   resp.Header.Get("X-Ltsimd-Cache"),
+			key:     resp.Header.Get("X-Ltsimd-Key"),
+			body:    payload,
+			retried: len(exclude),
+		}, nil
+	}
+}
+
+// estimateOnce runs one non-progress estimate through the cluster-wide
+// single-flight table: the first holder of a key dispatches, duplicates
+// wait and replay its buffered outcome.
+func (r *Router) estimateOnce(ctx context.Context, key string, body []byte) (*upstream, bool, error) {
+	r.flightMu.Lock()
+	if f, dup := r.flights[key]; dup {
+		r.flightMu.Unlock()
+		r.coalesced.Add(1)
+		r.metrics.coalesced.Inc()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[key] = f
+	r.flightMu.Unlock()
+
+	f.res, f.err = r.dispatch(ctx, key, body)
+	r.flightMu.Lock()
+	delete(r.flights, key)
+	r.flightMu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}
+
+// handleEstimate proxies one estimate to the worker owning its
+// fingerprint. Duplicate in-flight keys coalesce at the router before
+// dispatch (one upstream request, everyone replays its bytes, the
+// followers marked X-Ltsimd-Cache: dedup). Progress-streamed requests
+// are routed by the same key but proxied straight through — a stream
+// cannot be buffered for replay.
+func (r *Router) handleEstimate(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var er service.EstimateRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&er); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	key, err := routingKey(er)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if er.Progress {
+		r.proxyStream(w, req.Context(), key, body)
+		return
+	}
+	res, joined, err := r.estimateOnce(req.Context(), key, body)
+	if err != nil {
+		writeError(w, upstreamStatus(err), err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Ltsimr-Node", res.node)
+	if res.key != "" {
+		h.Set("X-Ltsimd-Key", res.key)
+	}
+	disp := res.cache
+	if joined {
+		disp = "dedup"
+	}
+	if disp != "" {
+		h.Set("X-Ltsimd-Cache", disp)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// upstreamStatus maps a dispatch error onto a response status.
+func upstreamStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNoHealthyNodes):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+// proxyStream forwards a progress-streamed estimate and relays the
+// NDJSON frames as they arrive. Worker death before the first byte
+// retries on the successor; after frames have flowed the stream just
+// ends (the client re-requests and hits the successor's cache).
+func (r *Router) proxyStream(w http.ResponseWriter, ctx context.Context, key string, body []byte) {
+	var exclude []string
+	for {
+		node, err := r.ring.Pick(key, exclude...)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		node.acquire()
+		r.metrics.requests.With(node.Name).Inc()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL+"/estimate", bytes.NewReader(body))
+		if err != nil {
+			node.release()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			node.release()
+			if ctx.Err() != nil {
+				return
+			}
+			if node.setHealthy(false) {
+				r.ejections.Add(1)
+				r.metrics.ejections.Inc()
+			}
+			exclude = append(exclude, node.Name)
+			r.retries.Add(1)
+			r.metrics.retries.Inc()
+			continue
+		}
+		h := w.Header()
+		for _, name := range []string{"Content-Type", "X-Ltsimd-Key", "X-Ltsimd-Cache"} {
+			if v := resp.Header.Get(name); v != "" {
+				h.Set(name, v)
+			}
+		}
+		h.Set("X-Ltsimr-Node", node.Name)
+		w.WriteHeader(resp.StatusCode)
+		flusher, _ := w.(http.Flusher)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		node.release()
+		return
+	}
+}
+
+// handleSweep fans a batch across the cluster: scenario documents are
+// expanded exactly once here at the router, every request is
+// fingerprinted, identical fingerprints dedupe batch-wide, and each
+// unique key dispatches to the worker that owns it (joining any
+// already-in-flight duplicate cluster-wide). Lines stream back in
+// completion order with per-point node attribution; the summary
+// aggregates worker cache outcomes (memory and disk tiers).
+func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
+	var sreq service.SweepRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sreq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if sreq.Scenario != nil {
+		if len(sreq.Requests) > 0 {
+			writeError(w, http.StatusBadRequest, errors.New("sweep takes requests or a scenario, not both"))
+			return
+		}
+		points, err := scenario.Expand(*sreq.Scenario)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sreq.Requests = make([]service.EstimateRequest, len(points))
+		for i, pt := range points {
+			sreq.Requests[i] = pt.Request
+		}
+	}
+	if len(sreq.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("sweep needs at least one request"))
+		return
+	}
+	if len(sreq.Requests) > scenario.MaxPoints {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sweep of %d requests exceeds the %d limit", len(sreq.Requests), scenario.MaxPoints))
+		return
+	}
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(line service.SweepLine) {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary := service.SweepLine{Summary: true, Requested: len(sreq.Requests)}
+
+	// Fingerprint across cores (the same CPU-bound resolve the worker
+	// sweep path parallelizes), then group serially.
+	type resolution struct {
+		key  string
+		body []byte
+		err  error
+	}
+	resolutions := make([]resolution, len(sreq.Requests))
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for worker := 0; worker < min(runtime.GOMAXPROCS(0), len(sreq.Requests)); worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sreq.Requests) {
+					return
+				}
+				res := &resolutions[i]
+				res.key, res.err = routingKey(sreq.Requests[i])
+				if res.err == nil {
+					res.body, res.err = json.Marshal(sreq.Requests[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	type group struct {
+		key     string
+		body    []byte
+		indices []int
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	for i, res := range resolutions {
+		if res.err != nil {
+			summary.Errors++
+			emit(service.SweepLine{Index: i, Error: res.err.Error()})
+			continue
+		}
+		g, ok := groups[res.key]
+		if !ok {
+			g = &group{key: res.key, body: res.body}
+			groups[res.key] = g
+			order = append(order, g)
+		} else {
+			summary.Deduped++
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	type outcome struct {
+		g   *group
+		res *upstream
+		err error
+	}
+	results := make(chan outcome)
+	var nextGroup atomic.Int64
+	for worker := 0; worker < min(len(order), r.cfg.SweepConcurrency); worker++ {
+		go func() {
+			for {
+				gi := int(nextGroup.Add(1)) - 1
+				if gi >= len(order) {
+					return
+				}
+				g := order[gi]
+				res, _, err := r.estimateOnce(req.Context(), g.key, g.body)
+				results <- outcome{g: g, res: res, err: err}
+			}
+		}()
+	}
+
+	for range order {
+		out := <-results
+		for _, i := range out.g.indices {
+			err := out.err
+			if err == nil && out.res.status != http.StatusOK {
+				err = fmt.Errorf("worker %s returned %d: %s", out.res.node, out.res.status, strings.TrimSpace(string(out.res.body)))
+			}
+			if err != nil {
+				summary.Errors++
+				emit(service.SweepLine{Index: i, Key: out.g.key, Error: err.Error()})
+				continue
+			}
+			summary.OK++
+			switch out.res.cache {
+			case "hit":
+				summary.CacheHits++
+			case "disk":
+				summary.CacheHits++
+				summary.DiskHits++
+			}
+			emit(service.SweepLine{Index: i, Key: out.res.key, Result: out.res.body, Node: out.res.node})
+		}
+	}
+	summary.ElapsedMS = time.Since(start).Milliseconds()
+	enc.Encode(summary)
+}
+
+// NodeHealth is one worker's row in the aggregated /healthz.
+type NodeHealth struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// handleHealthz aggregates worker health: "ok" when every worker is
+// admitted, "degraded" (still 200 — the cluster serves) while at least
+// one is, and 503 "down" when the ring is empty.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	nodes := make([]NodeHealth, 0, len(r.ring.Nodes()))
+	healthy := 0
+	for _, n := range r.ring.Nodes() {
+		ok := n.Healthy()
+		if ok {
+			healthy++
+		}
+		nodes = append(nodes, NodeHealth{Name: n.Name, URL: n.URL, Healthy: ok})
+	}
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case healthy == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case healthy < len(nodes):
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(r.start).Seconds(),
+		"nodes":          nodes,
+	})
+}
+
+// NodeStats is one worker's row in the aggregated /stats: its health,
+// the router's view of its load, and the worker's own /stats payload
+// (raw, so new worker fields pass through untouched).
+type NodeStats struct {
+	Name     string          `json:"name"`
+	URL      string          `json:"url"`
+	Healthy  bool            `json:"healthy"`
+	Inflight int64           `json:"inflight"`
+	Error    string          `json:"error,omitempty"`
+	Stats    json.RawMessage `json:"stats,omitempty"`
+}
+
+// StatsSnapshot is the router's /stats payload: cluster-wide cache
+// warmth (the aggregated hit rate over every tier of every node) plus
+// per-node attribution.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Nodes         int     `json:"nodes"`
+	HealthyNodes  int     `json:"healthy_nodes"`
+	Routed        uint64  `json:"routed"`
+	Coalesced     uint64  `json:"coalesced"`
+	Retries       uint64  `json:"retries"`
+	Ejections     uint64  `json:"ejections"`
+	Readmissions  uint64  `json:"readmissions"`
+	// ClusterHits/ClusterMisses aggregate the workers' memory-tier
+	// counters; ClusterHitRate is their ratio — the cluster cache warmth
+	// that sets sweep throughput.
+	ClusterHits    uint64      `json:"cluster_hits"`
+	ClusterMisses  uint64      `json:"cluster_misses"`
+	ClusterHitRate float64     `json:"cluster_hit_rate"`
+	PerNode        []NodeStats `json:"per_node"`
+}
+
+// handleStats fans /stats across the workers and aggregates.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	nodes := r.ring.Nodes()
+	rows := make([]NodeStats, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			row := NodeStats{Name: n.Name, URL: n.URL, Healthy: n.Healthy(), Inflight: n.Inflight()}
+			ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ProbeTimeout)
+			defer cancel()
+			sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/stats", nil)
+			if err == nil {
+				var resp *http.Response
+				if resp, err = r.client.Do(sreq); err == nil {
+					body, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if rerr != nil {
+						err = rerr
+					} else if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					} else {
+						row.Stats = body
+					}
+				}
+			}
+			if err != nil {
+				row.Error = err.Error()
+			}
+			rows[i] = row
+		}(i, n)
+	}
+	wg.Wait()
+
+	snap := StatsSnapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Nodes:         len(nodes),
+		HealthyNodes:  r.ring.HealthyCount(),
+		Routed:        r.routedTotal.Load(),
+		Coalesced:     r.coalesced.Load(),
+		Retries:       r.retries.Load(),
+		Ejections:     r.ejections.Load(),
+		Readmissions:  r.readmits.Load(),
+		PerNode:       rows,
+	}
+	for _, row := range rows {
+		if row.Stats == nil {
+			continue
+		}
+		var ws service.StatsSnapshot
+		if err := json.Unmarshal(row.Stats, &ws); err == nil {
+			snap.ClusterHits += ws.Cache.Hits
+			snap.ClusterMisses += ws.Cache.Misses
+		}
+	}
+	if total := snap.ClusterHits + snap.ClusterMisses; total > 0 {
+		snap.ClusterHitRate = float64(snap.ClusterHits) / float64(total)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
+}

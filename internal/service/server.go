@@ -19,6 +19,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -28,9 +29,12 @@ import (
 type Service struct {
 	cfg   Config
 	cache *resultCache
-	sched *scheduler
-	mux   *http.ServeMux
-	start time.Time
+	// diskStore is the persistent result tier under the memory LRU; nil
+	// when the service runs memory-only (Config.Store unset).
+	diskStore store.Store
+	sched     *scheduler
+	mux       *http.ServeMux
+	start     time.Time
 	// progressSem bounds concurrently-running progress-streamed
 	// simulations. Progress runs execute outside the shard queue, so
 	// this capacity is additive to the scheduler's: at most Shards extra
@@ -63,6 +67,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:              cfg,
 		cache:            newResultCache(cfg.CacheSize),
+		diskStore:        cfg.Store,
 		sched:            newScheduler(cfg.Shards, cfg.QueueDepth, cfg.JobTimeout),
 		mux:              http.NewServeMux(),
 		start:            time.Now(),
@@ -79,6 +84,11 @@ func New(cfg Config) *Service {
 	}
 	s.metrics = newServiceMetrics(reg)
 	s.cache.instrument(reg)
+	if in, ok := s.diskStore.(interface {
+		Instrument(*telemetry.Registry)
+	}); ok {
+		in.Instrument(reg)
+	}
 	s.sched.instrument(reg)
 	sim.EnableMetrics(reg)
 	reg.GaugeFunc("ltsimd_progress_inflight",
@@ -109,8 +119,52 @@ func (s *Service) Handler() http.Handler { return s.withTelemetry(s.mux) }
 // MetricsRegistry returns the registry behind GET /metrics.
 func (s *Service) MetricsRegistry() *telemetry.Registry { return s.metrics.reg }
 
-// Shutdown drains the scheduler; see scheduler.Shutdown for semantics.
-func (s *Service) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
+// Shutdown drains the scheduler (see scheduler.Shutdown for semantics),
+// then closes the persistent store so its directory can be reopened by
+// the next process — draining first means every completed job's bytes
+// reach disk before the store stops accepting writes.
+func (s *Service) Shutdown(ctx context.Context) error {
+	err := s.sched.Shutdown(ctx)
+	if s.diskStore != nil {
+		if cerr := s.diskStore.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Cache tiers, as they appear in the X-Ltsimd-Cache header and sweep
+// summaries: "hit" is the in-memory LRU, "disk" the persistent store.
+const (
+	tierMemory = "hit"
+	tierDisk   = "disk"
+)
+
+// cacheGet probes the memory tier then the persistent store. A store
+// hit promotes the bytes back into memory (read-through), so the next
+// probe of a hot key is a memory hit; tier reports which tier answered.
+func (s *Service) cacheGet(key string) (body []byte, tier string, ok bool) {
+	if body, ok := s.cache.Get(key); ok {
+		return body, tierMemory, true
+	}
+	if s.diskStore == nil {
+		return nil, "", false
+	}
+	body, ok = s.diskStore.Get(key)
+	if !ok {
+		return nil, "", false
+	}
+	s.cache.Put(key, body)
+	return body, tierDisk, true
+}
+
+// cachePut writes through both tiers.
+func (s *Service) cachePut(key string, val []byte) {
+	s.cache.Put(key, val)
+	if s.diskStore != nil {
+		s.diskStore.Put(key, val)
+	}
+}
 
 // writeError emits a JSON error body with the given status.
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -209,7 +263,7 @@ func (s *Service) resolve(req EstimateRequest) (key string, compute func(context
 		}
 		// ctx carries the owning request's trace through the scheduler.
 		telemetry.TraceFrom(ctx).Mark("encoded")
-		s.cache.Put(key, body)
+		s.cachePut(key, body)
 		return body, nil
 	}
 	return key, compute, nil
@@ -236,7 +290,7 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.Mark("resolved")
-	body, hit := s.cache.Get(key)
+	body, tier, hit := s.cacheGet(key)
 	joined := false
 	if !hit {
 		tr.Mark("queued")
@@ -249,7 +303,9 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	disp := "miss"
 	switch {
 	case hit:
-		disp = "hit"
+		// tierMemory ("hit") or tierDisk ("disk"), per the tier that
+		// actually answered.
+		disp = tier
 	case joined:
 		// The request coalesced onto an already-in-flight computation of
 		// the same fingerprint and replayed its bytes.
@@ -323,13 +379,14 @@ type EstimateFrame struct {
 	Error    string          `json:"error,omitempty"`
 }
 
-// writeFinalFrame serves a cached result as a one-frame NDJSON stream.
-func (s *Service) writeFinalFrame(w http.ResponseWriter, key string, body []byte) {
+// writeFinalFrame serves a cached result as a one-frame NDJSON stream;
+// tier is the cache tier that answered ("hit" or "disk").
+func (s *Service) writeFinalFrame(w http.ResponseWriter, key, tier string, body []byte) {
 	h := w.Header()
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("X-Ltsimd-Key", key)
-	h.Set("X-Ltsimd-Cache", "hit")
-	json.NewEncoder(w).Encode(EstimateFrame{Final: true, Key: key, Cache: "hit", Result: body})
+	h.Set("X-Ltsimd-Cache", tier)
+	json.NewEncoder(w).Encode(EstimateFrame{Final: true, Key: key, Cache: tier, Result: body})
 }
 
 // streamEstimate serves one estimate as an NDJSON stream: progress
@@ -352,8 +409,8 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 	}
 	tr.Mark("resolved")
 	// Serve cache hits before taking a slot: replaying bytes is cheap.
-	if body, hit := s.cache.Get(key); hit {
-		s.writeFinalFrame(w, key, body)
+	if body, tier, hit := s.cacheGet(key); hit {
+		s.writeFinalFrame(w, key, tier, body)
 		return
 	}
 	// Single-flight: a duplicate of an in-flight progress run waits for
@@ -366,8 +423,8 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 		case <-r.Context().Done():
 			return
 		}
-		if body, hit := s.cache.Get(key); hit {
-			s.writeFinalFrame(w, key, body)
+		if body, tier, hit := s.cacheGet(key); hit {
+			s.writeFinalFrame(w, key, tier, body)
 			return
 		}
 		// The owner failed; report rather than silently recomputing.
@@ -440,7 +497,7 @@ func (s *Service) streamEstimate(w http.ResponseWriter, r *http.Request, req Est
 		return
 	}
 	tr.Mark("encoded")
-	s.cache.Put(key, body)
+	s.cachePut(key, body)
 	emit(EstimateFrame{Final: true, Key: key, Cache: "miss", Result: body})
 }
 
@@ -469,8 +526,14 @@ type SweepLine struct {
 	// Deduped counts the indices that shared another index's fingerprint
 	// within this batch and replayed its bytes instead of scheduling (or
 	// cache-probing) their own run.
-	Deduped   int   `json:"deduped,omitempty"`
-	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	Deduped int `json:"deduped,omitempty"`
+	// DiskHits counts the subset of CacheHits answered by the persistent
+	// store rather than the memory LRU (additive; memory-only daemons
+	// never emit it). Node is the worker a routed sweep point was served
+	// by — set only by the ltsimr router, never by a single daemon.
+	DiskHits  int    `json:"disk_hits,omitempty"`
+	Node      string `json:"node,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
 }
 
 // handleSweep streams a batch: every request is fingerprinted up front,
@@ -591,6 +654,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		body []byte
 		err  error
 		hit  bool
+		tier string
 	}
 	results := make(chan outcome)
 	// A fixed pool of submitters, sized below total queue capacity so a
@@ -606,12 +670,12 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				g := order[gi]
-				body, hit := s.cache.Get(g.key)
+				body, tier, hit := s.cacheGet(g.key)
 				var err error
 				if !hit {
 					body, err = s.submitWithRetry(r.Context(), g.key, g.compute)
 				}
-				results <- outcome{g: g, body: body, err: err, hit: hit}
+				results <- outcome{g: g, body: body, err: err, hit: hit, tier: tier}
 			}
 		}()
 	}
@@ -627,6 +691,9 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			summary.OK++
 			if out.hit {
 				summary.CacheHits++
+				if out.tier == tierDisk {
+					summary.DiskHits++
+				}
 			}
 			emit(SweepLine{Index: i, Key: out.g.key, Result: out.body})
 		}
@@ -792,7 +859,7 @@ func (s *Service) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		seed = v
 	}
 	key := fmt.Sprintf("exp/v1|%s|seed=%d|quick=%t", e.ID, seed, quick)
-	body, hit := s.cache.Get(key)
+	body, tier, hit := s.cacheGet(key)
 	if !hit {
 		var err error
 		body, err = s.sched.Submit(r.Context(), key, func(ctx context.Context) ([]byte, error) {
@@ -822,7 +889,7 @@ func (s *Service) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			s.cache.Put(key, b)
+			s.cachePut(key, b)
 			return b, nil
 		})
 		if err != nil {
@@ -830,10 +897,14 @@ func (s *Service) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	disp := "miss"
+	if hit {
+		disp = tier
+	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Ltsimd-Key", key)
-	h.Set("X-Ltsimd-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	h.Set("X-Ltsimd-Cache", disp)
 	w.Write(body)
 	w.Write([]byte("\n"))
 }
@@ -891,6 +962,11 @@ type StatsSnapshot struct {
 	// cache replays) under importance-sampled failure biasing. Additive
 	// (PR 8); pre-existing consumers decode unchanged.
 	BiasedRuns uint64 `json:"biased_runs"`
+	// Store is the persistent result tier's snapshot; omitted entirely on
+	// memory-only daemons. Additive (PR 9); its Hits vs the memory
+	// cache's Hits is the per-node tier attribution the ltsimr router
+	// aggregates as cluster cache warmth.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -898,7 +974,7 @@ func (s *Service) Stats() StatsSnapshot {
 	s.progressMu.Lock()
 	progressInflight := len(s.progressInflight)
 	s.progressMu.Unlock()
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Cache:            s.cache.Stats(),
 		Scheduler:        s.sched.Stats(),
@@ -906,6 +982,11 @@ func (s *Service) Stats() StatsSnapshot {
 		SweepDeduped:     s.sweepDeduped.Load(),
 		BiasedRuns:       s.biasedRuns.Load(),
 	}
+	if s.diskStore != nil {
+		st := s.diskStore.Stats()
+		snap.Store = &st
+	}
+	return snap
 }
 
 // handleStats reports cache and scheduler health.

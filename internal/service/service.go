@@ -11,11 +11,16 @@
 //     scalar-shorthand fleet and its explicit Specs form, or two requests
 //     differing only in worker count, hash identically.
 //
-//   - A content-addressed result cache. Responses are cached as their
-//     encoded JSON bytes keyed by fingerprint, bounded by an LRU, so a
-//     repeat query replays the exact bytes of the first answer —
-//     bit-identical, which the simulator's determinism guarantees is also
-//     what a recomputation would produce.
+//   - A content-addressed result cache, optionally two-tiered. Responses
+//     are cached as their encoded JSON bytes keyed by fingerprint in a
+//     bounded in-memory LRU; with Config.Store set, a persistent
+//     content-addressed store (internal/store) sits under it —
+//     read-through (a memory miss probes the store, a store hit promotes
+//     back into memory and serves with X-Ltsimd-Cache: disk) and
+//     write-through (every computed result lands in both), so a repeat
+//     query replays the exact bytes of the first answer even across
+//     daemon restarts — bit-identical, which the simulator's determinism
+//     guarantees is also what a recomputation would produce.
 //
 //   - A sharded worker-pool scheduler. Cache misses become jobs hashed
 //     onto shards, each with its own bounded queue and worker; duplicate
@@ -61,6 +66,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -105,6 +111,14 @@ type Config struct {
 	// one. Pass a shared registry to merge the service's families with
 	// an embedder's own.
 	Metrics *telemetry.Registry
+	// Store, when non-nil, is the persistent result tier layered under
+	// the in-memory LRU: reads fall through memory to the store (a store
+	// hit promotes back into memory and serves with X-Ltsimd-Cache:
+	// disk), writes go through to both, and a daemon restarted over the
+	// same store replays bit-identical bytes without re-simulating. The
+	// service closes the store on Shutdown. cmd/ltsimd opens a
+	// store.DiskStore here from -cache-dir.
+	Store store.Store
 }
 
 // withDefaults fills the zero values.

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// newDiskService starts a service with a persistent store over dir.
+func newDiskService(t *testing.T, dir string) (*Service, *httptest.Server) {
+	t.Helper()
+	ds, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{CacheSize: 256, Shards: 2, QueueDepth: 32, JobTimeout: time.Minute, SimParallel: 2, Store: ds})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	return svc, ts
+}
+
+// TestRestartDurability is the tentpole's acceptance test in miniature:
+// fill the cache, tear the service down (the daemon's SIGTERM path calls
+// the same Shutdown), start a fresh service over the same directory, and
+// the warm keys serve byte-identical answers from the disk tier — with
+// the X-Ltsimd-Cache header and /stats attributing each tier correctly.
+func TestRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []EstimateRequest{
+		{Trials: 100, HorizonYears: 50},
+		{Trials: 100, HorizonYears: 50, Alpha: 0.3},
+		{Trials: 60, Replicas: 3, HorizonYears: 50},
+	}
+
+	_, ts1 := newDiskService(t, dir)
+	cold := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		resp := postJSON(t, ts1.URL+"/estimate", req)
+		if got := resp.Header.Get("X-Ltsimd-Cache"); got != "miss" {
+			t.Fatalf("cold request %d: X-Ltsimd-Cache = %q, want miss", i, got)
+		}
+		cold[i] = readAll(t, resp)
+	}
+	ts1.Close() // cleanup order: the deferred Shutdown still runs later
+
+	svc2, ts2 := newDiskService(t, dir)
+	for i, req := range reqs {
+		resp := postJSON(t, ts2.URL+"/estimate", req)
+		if got := resp.Header.Get("X-Ltsimd-Cache"); got != "disk" {
+			t.Fatalf("warm request %d after restart: X-Ltsimd-Cache = %q, want disk", i, got)
+		}
+		if body := readAll(t, resp); !bytes.Equal(body, cold[i]) {
+			t.Fatalf("restart replay %d is not bit-identical:\ncold: %s\nwarm: %s", i, cold[i], body)
+		}
+		// The disk hit promoted the entry into memory: the next probe is
+		// a memory hit.
+		resp = postJSON(t, ts2.URL+"/estimate", req)
+		if got := resp.Header.Get("X-Ltsimd-Cache"); got != "hit" {
+			t.Fatalf("second warm request %d: X-Ltsimd-Cache = %q, want hit (memory)", i, got)
+		}
+		readAll(t, resp)
+	}
+
+	snap := svc2.Stats()
+	if snap.Store == nil {
+		t.Fatal("/stats has no store section on a disk-backed service")
+	}
+	if snap.Store.Hits != uint64(len(reqs)) {
+		t.Errorf("store hits = %d, want %d (one per restart replay)", snap.Store.Hits, len(reqs))
+	}
+	if snap.Cache.Hits != uint64(len(reqs)) {
+		t.Errorf("memory hits = %d, want %d (one per promoted re-probe)", snap.Cache.Hits, len(reqs))
+	}
+	if snap.Scheduler.Completed != 0 {
+		t.Errorf("restarted service simulated %d jobs; want 0 (everything from disk)", snap.Scheduler.Completed)
+	}
+}
+
+// TestRestartDurabilitySweep: a whole sweep replays from the disk tier
+// after a restart, bit-identically, with the summary attributing the
+// hits to disk.
+func TestRestartDurabilitySweep(t *testing.T) {
+	dir := t.TempDir()
+	sweep := SweepRequest{Requests: []EstimateRequest{
+		{Trials: 80, HorizonYears: 50},
+		{Trials: 80, HorizonYears: 50, Replicas: 3},
+		{Trials: 80, HorizonYears: 50, Alpha: 0.5},
+	}}
+
+	_, ts1 := newDiskService(t, dir)
+	cold := sweepLines(t, readAll(t, postJSON(t, ts1.URL+"/sweep", sweep)))
+	ts1.Close()
+
+	_, ts2 := newDiskService(t, dir)
+	warm := sweepLines(t, readAll(t, postJSON(t, ts2.URL+"/sweep", sweep)))
+	for i := range sweep.Requests {
+		if !bytes.Equal(cold[i].Result, warm[i].Result) {
+			t.Errorf("sweep point %d differs across restart", i)
+		}
+	}
+	sum := warm[len(warm)-1]
+	if !sum.Summary || sum.CacheHits != 3 || sum.DiskHits != 3 {
+		t.Errorf("warm summary = %+v, want 3 cache hits, all from disk", sum)
+	}
+}
+
+// sweepLines decodes an NDJSON sweep body into indexed lines, summary
+// last.
+func sweepLines(t *testing.T, body []byte) []SweepLine {
+	t.Helper()
+	var out []SweepLine
+	byIndex := map[int]SweepLine{}
+	var summary *SweepLine
+	for _, raw := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var line SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatalf("bad sweep line %q: %v", raw, err)
+		}
+		if line.Summary {
+			l := line
+			summary = &l
+			continue
+		}
+		byIndex[line.Index] = line
+	}
+	if summary == nil {
+		t.Fatal("sweep body has no summary line")
+	}
+	for i := 0; i < len(byIndex); i++ {
+		line, ok := byIndex[i]
+		if !ok {
+			t.Fatalf("sweep body missing index %d", i)
+		}
+		out = append(out, line)
+	}
+	return append(out, *summary)
+}
+
+// TestCorruptEntryResimulatesBitIdentical is the satellite test: a
+// corrupted store file is treated as a miss and quarantined, the
+// simulation re-runs, and determinism makes the recomputed bytes
+// bit-identical to the original answer.
+func TestCorruptEntryResimulatesBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	req := EstimateRequest{Trials: 90, HorizonYears: 50}
+
+	_, ts1 := newDiskService(t, dir)
+	resp := postJSON(t, ts1.URL+"/estimate", req)
+	key := resp.Header.Get("X-Ltsimd-Key")
+	original := readAll(t, resp)
+	ts1.Close()
+
+	// Overwrite the stored entry with garbage while no service holds it.
+	ds, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ds.Path(key)
+	ds.Close()
+	if err := os.WriteFile(path, []byte("garbage bytes, not a store entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, ts2 := newDiskService(t, dir)
+	resp = postJSON(t, ts2.URL+"/estimate", req)
+	if got := resp.Header.Get("X-Ltsimd-Cache"); got != "miss" {
+		t.Fatalf("corrupt entry served as %q, want miss", got)
+	}
+	if body := readAll(t, resp); !bytes.Equal(body, original) {
+		t.Fatalf("re-simulation after corruption is not bit-identical:\nwas: %s\nnow: %s", original, body)
+	}
+	snap := svc2.Stats()
+	if snap.Store == nil || snap.Store.Corrupt != 1 {
+		t.Fatalf("store stats = %+v, want exactly 1 corrupt entry", snap.Store)
+	}
+	// The garbage landed in quarantine, not the serving path, and the
+	// recomputed result was written back.
+	entries, err := os.ReadDir(filepath.Join(dir, "corrupt"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("quarantine dir: %d entries, err %v; want 1", len(entries), err)
+	}
+	resp = postJSON(t, ts2.URL+"/estimate", req)
+	if got := resp.Header.Get("X-Ltsimd-Cache"); got != "hit" {
+		t.Fatalf("after re-simulation: X-Ltsimd-Cache = %q, want hit", got)
+	}
+	readAll(t, resp)
+}
+
+// TestStatsStoreSectionAdditive is the /stats byte-compat regression
+// test for the new fields: on a disk-backed service every pre-existing
+// field keeps its name and the new store section carries the tier
+// counters; on a memory-only service the section is absent so earlier
+// consumers see byte-compatible output.
+func TestStatsStoreSectionAdditive(t *testing.T) {
+	_, ts := newDiskService(t, t.TempDir())
+	readAll(t, postJSON(t, ts.URL+"/estimate", EstimateRequest{Trials: 60, HorizonYears: 50}))
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"uptime_seconds", "cache", "scheduler",
+		"progress_inflight", "sweep_deduped", "biased_runs",
+		// PR 9 additive section.
+		"store",
+	} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("/stats missing %q: %s", key, body)
+		}
+	}
+	var st map[string]json.RawMessage
+	if err := json.Unmarshal(top["store"], &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"entries", "bytes", "capacity_bytes", "hits", "misses", "writes", "corrupt", "gc_evictions", "errors"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("/stats store missing %q: %s", key, top["store"])
+		}
+	}
+
+	// Memory-only daemons must not grow the section at all.
+	_, tsMem := newTestService(t)
+	respMem, err := http.Get(tsMem.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(readAll(t, respMem), []byte(`"store"`)) {
+		t.Error("memory-only /stats grew a store section")
+	}
+}
+
+// TestStoreMetricFamiliesExposed: the disk tier's families (including
+// the corruption counter dashboards alert on) reach GET /metrics.
+func TestStoreMetricFamiliesExposed(t *testing.T) {
+	_, ts := newDiskService(t, t.TempDir())
+	readAll(t, postJSON(t, ts.URL+"/estimate", EstimateRequest{Trials: 50, HorizonYears: 50}))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readAll(t, resp))
+	for _, family := range []string{
+		"ltsimd_store_hits_total", "ltsimd_store_misses_total",
+		"ltsimd_store_writes_total", "ltsimd_store_corrupt_total",
+		"ltsimd_store_gc_evictions_total", "ltsimd_store_entries",
+		"ltsimd_store_bytes", "ltsimd_store_capacity_bytes",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing family %q", family)
+		}
+	}
+	if !strings.Contains(text, "ltsimd_store_writes_total 1") {
+		t.Errorf("store writes counter did not record the computed result:\n%s", text)
+	}
+}

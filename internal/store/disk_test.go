@@ -1,0 +1,304 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fpKey fabricates a canonical-fingerprint-shaped key (64 hex chars).
+func fpKey(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func openTestStore(t *testing.T, dir string, maxBytes int64) *DiskStore {
+	t.Helper()
+	s, err := OpenDisk(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	key := fpKey("a")
+	val := []byte(`{"mttdl_hours":123}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put(key, val)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, val)
+	}
+	// Overwrite replaces in place.
+	val2 := []byte(`{"mttdl_hours":456}`)
+	s.Put(key, val2)
+	if got, _ := s.Get(key); !bytes.Equal(got, val2) {
+		t.Fatalf("after overwrite Get = %q, want %q", got, val2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Writes != 2 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 2 writes", st)
+	}
+}
+
+// TestDiskNonFingerprintKeys covers keys that are not 64-hex canonical
+// fingerprints (the experiment-result keys): they content-address
+// through SHA-256 and round-trip like any other.
+func TestDiskNonFingerprintKeys(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	key := "exp/v1|E2|seed=1|quick=true"
+	val := []byte("experiment tables")
+	s.Put(key, val)
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, val)
+	}
+	if base := filepath.Base(s.Path(key)); !isPathKey(base) {
+		t.Fatalf("Path(%q) basename %q is not a hashed path key", key, base)
+	}
+}
+
+// TestDiskRestartScan is the durability core: a new DiskStore over the
+// same directory serves the previous instance's bytes verbatim.
+func TestDiskRestartScan(t *testing.T) {
+	dir := t.TempDir()
+	vals := map[string][]byte{}
+	s1 := openTestStore(t, dir, 0)
+	for i := 0; i < 20; i++ {
+		k := fpKey(fmt.Sprint("restart-", i))
+		v := []byte(strings.Repeat(fmt.Sprint("payload-", i, ";"), i+1))
+		vals[k] = v
+		s1.Put(k, v)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, 0)
+	if s2.Len() != len(vals) {
+		t.Fatalf("restart scan found %d entries, want %d", s2.Len(), len(vals))
+	}
+	for k, v := range vals {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("after restart Get(%s) = %v, want stored bytes", k, ok)
+		}
+	}
+}
+
+// TestDiskRestartSweepsTempFiles: leftover temp files from interrupted
+// writes are removed by the startup scan and never indexed.
+func TestDiskRestartSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTestStore(t, dir, 0)
+	key := fpKey("tmp-sweep")
+	s1.Put(key, []byte("x"))
+	s1.Close()
+	shard := filepath.Dir(s1.Path(key))
+	tmp := filepath.Join(shard, tmpPrefix+"leftover-123")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, 0)
+	if s2.Len() != 1 {
+		t.Fatalf("scan indexed %d entries, want 1", s2.Len())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the startup sweep: %v", err)
+	}
+}
+
+// TestDiskGCBySize: the store deletes least-recently-used entries (by
+// access order, persisted as mtime) once over budget.
+func TestDiskGCBySize(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is 100 payload bytes + 8 header = 108 file bytes.
+	payload := bytes.Repeat([]byte("x"), 100)
+	budget := int64(5 * 108)
+	s := openTestStore(t, dir, budget)
+	var keys []string
+	for i := 0; i < 5; i++ {
+		k := fpKey(fmt.Sprint("gc-", i))
+		keys = append(keys, k)
+		s.Put(k, payload)
+	}
+	// Touch the oldest so it is no longer the LRU victim.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm entry missing before GC")
+	}
+	// One more entry pushes over budget; keys[1] is now the LRU.
+	k5 := fpKey("gc-5")
+	s.Put(k5, payload)
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived GC")
+	}
+	for _, k := range []string{keys[0], keys[2], keys[3], keys[4], k5} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("entry %s was evicted but is not the LRU", k)
+		}
+	}
+	st := s.Stats()
+	if st.GCEvictions != 1 {
+		t.Fatalf("GCEvictions = %d, want 1", st.GCEvictions)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("footprint %d exceeds budget %d after GC", st.Bytes, budget)
+	}
+}
+
+// TestDiskGCOnStartupScan: opening an over-budget directory GCs down to
+// the bound, deleting the oldest-mtime entries first.
+func TestDiskGCOnStartupScan(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("y"), 100)
+	s1 := openTestStore(t, dir, 0) // unbounded writer
+	old := fpKey("scan-old")
+	s1.Put(old, payload)
+	// Backdate the first entry so the scan sees a strict mtime order
+	// regardless of filesystem timestamp granularity.
+	oldPath := s1.Path(old)
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(oldPath, past, past)
+	newer := fpKey("scan-new")
+	s1.Put(newer, payload)
+	s1.Close()
+
+	s2 := openTestStore(t, dir, 108) // room for one entry
+	if _, ok := s2.Get(old); ok {
+		t.Fatal("oldest entry survived startup GC")
+	}
+	if _, ok := s2.Get(newer); !ok {
+		t.Fatal("newest entry did not survive startup GC")
+	}
+}
+
+// TestDiskCorruptQuarantine is the satellite test: truncated, garbage,
+// and CRC-flipped files all read as misses, land in <dir>/corrupt/, and
+// count in the corrupt counter (mirrored to ltsimd_store_corrupt_total).
+func TestDiskCorruptQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	reg := telemetry.NewRegistry()
+	s.Instrument(reg)
+
+	corruptions := []struct {
+		name    string
+		corrupt func(path string, t *testing.T)
+	}{
+		{"garbage", func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("not a store file at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(path string, t *testing.T) {
+			if err := os.Truncate(path, 5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bitflip", func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xFF
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for i, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			key := fpKey("corrupt-" + c.name)
+			val := []byte(`{"answer":` + fmt.Sprint(i) + `}`)
+			s.Put(key, val)
+			c.corrupt(s.Path(key), t)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if _, err := os.Stat(s.Path(key)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file still in place: %v", err)
+			}
+			// Re-putting the recomputed bytes round-trips again.
+			s.Put(key, val)
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, val) {
+				t.Fatalf("re-put after quarantine: Get = %q, %v", got, ok)
+			}
+		})
+	}
+	st := s.Stats()
+	if st.Corrupt != uint64(len(corruptions)) {
+		t.Fatalf("Corrupt = %d, want %d", st.Corrupt, len(corruptions))
+	}
+	quarantined, err := os.ReadDir(s.CorruptDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != len(corruptions) {
+		t.Fatalf("quarantine holds %d files, want %d", len(quarantined), len(corruptions))
+	}
+	// The metric family the dashboards watch must agree.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("ltsimd_store_corrupt_total %d", len(corruptions))
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestDiskConcurrentAccess races readers, writers, and corrupters.
+func TestDiskConcurrentAccess(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 40*1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fpKey(fmt.Sprint("conc-", (g+i)%20))
+				if i%3 == 0 {
+					s.Put(key, bytes.Repeat([]byte{byte(i)}, 256))
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDiskClosedStoreDegrades: a closed store misses and drops writes
+// without touching the directory.
+func TestDiskClosedStoreDegrades(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	key := fpKey("closed")
+	s.Put(key, []byte("v"))
+	s.Close()
+	if _, ok := s.Get(key); ok {
+		t.Fatal("closed store served a hit")
+	}
+	s.Put(fpKey("closed-2"), []byte("w"))
+	s2 := openTestStore(t, dir, 0)
+	if s2.Len() != 1 {
+		t.Fatalf("closed-store Put reached disk: %d entries", s2.Len())
+	}
+}

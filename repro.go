@@ -102,6 +102,30 @@
 // serves, so local and remote outputs are byte-comparable. Embed the
 // service in another process with NewSimService.
 //
+// # Persistence and clustering
+//
+// With -cache-dir the daemon layers a persistent content-addressed
+// store (OpenDiskStore) under the memory cache: answers survive
+// restarts and replay bit-identically from disk (X-Ltsimd-Cache:
+// disk), with corrupt files quarantined and recomputed. cmd/ltsimr
+// fronts N such daemons as one endpoint, routing each fingerprint to
+// the worker that owns it on a bounded-load consistent-hash ring —
+// cluster cache warmth adds up instead of diluting — and coalescing
+// duplicate in-flight keys cluster-wide:
+//
+//	ltsimd -addr :8361 -cache-dir /var/cache/ltsimd-a &
+//	ltsimd -addr :8362 -cache-dir /var/cache/ltsimd-b &
+//	ltsimr -addr :8355 -worker localhost:8361 -worker localhost:8362 &
+//	curl -s -X POST localhost:8355/estimate -d '{"alpha":0.1,"trials":2000}'
+//	curl -s localhost:8355/stats   # cluster-wide hit rate, per-node warmth
+//	ltsim -server http://localhost:8355 -retries 5 -alpha 0.1  # rides restarts
+//
+// A dead worker is ejected from the ring (in-flight requests retry on
+// its successor; determinism makes the answer bit-identical) and
+// re-admitted with its key ownership — and warm disk tier — intact
+// when its health probe recovers. Embed the router with
+// NewClusterRouter.
+//
 // # Observability
 //
 // Every layer is instrumented through internal/telemetry, a
@@ -167,11 +191,13 @@ import (
 	"repro/internal/repair"
 	"repro/internal/replica"
 	"repro/internal/report"
+	"repro/internal/router"
 	"repro/internal/scenario"
 	"repro/internal/scrub"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/store"
 	"repro/internal/threat"
 	"repro/internal/workload"
 )
@@ -444,6 +470,53 @@ type ServiceEstimateRequest = service.EstimateRequest
 // ServiceFleetEntry is one replica of a fleet on the wire: a named tier
 // or explicit StorageSpec numbers.
 type ServiceFleetEntry = service.FleetEntry
+
+// ---- Persistent result store (internal/store) ----
+
+// ResultStore is the persistent result tier a SimService layers under
+// its in-memory cache (SimServiceConfig.Store): Get/Put by fingerprint,
+// whole-value, crash-safe.
+type ResultStore = store.Store
+
+// DiskResultStore is the disk-backed ResultStore behind ltsimd's
+// -cache-dir: one CRC-framed file per fingerprint, atomic writes, a
+// startup scan, LRU-by-mtime GC over a byte budget, and quarantine of
+// corrupt entries. A restarted service replays bit-identical bytes for
+// everything it ever answered.
+type DiskResultStore = store.DiskStore
+
+// ResultStoreStats is a ResultStore counter snapshot (the "store"
+// section of the daemon's /stats).
+type ResultStoreStats = store.Stats
+
+// OpenDiskStore opens (creating if needed) a disk store rooted at dir,
+// GC-bounded to maxBytes of entry files (0 = unbounded).
+func OpenDiskStore(dir string, maxBytes int64) (*DiskResultStore, error) {
+	return store.OpenDisk(dir, maxBytes)
+}
+
+// ---- Cluster router (internal/router, cmd/ltsimr) ----
+
+// ClusterRouter is the stateless front of an ltsimd cluster (the
+// embeddable service behind cmd/ltsimr): it consistent-hashes request
+// fingerprints across workers on a bounded-load ring, coalesces
+// duplicate in-flight keys cluster-wide, fans scenario sweeps out with
+// per-point node attribution, and survives worker death by ejection +
+// successor retry with probe-driven re-admission.
+type ClusterRouter = router.Router
+
+// ClusterRouterConfig sizes a ClusterRouter; Workers is the only
+// required field.
+type ClusterRouterConfig = router.Config
+
+// ClusterWorker names one ltsimd worker by base URL.
+type ClusterWorker = router.Worker
+
+// NewClusterRouter returns a started router (health prober running);
+// serve its Handler and stop it with Close.
+func NewClusterRouter(cfg ClusterRouterConfig) (*ClusterRouter, error) {
+	return router.New(cfg)
+}
 
 // ---- Scenario documents (internal/scenario) ----
 
