@@ -42,6 +42,38 @@
 //
 //	ltsim -replicas 3 -horizon 10 -bias auto -target-rel 0.1
 //
+// -hazard applies a non-stationary fault profile to every replica: the
+// profile multiplies both fault channels' rates over each replica's age
+// (burn-in, wear-out — see docs/MODEL.md). The value is a JSON
+// HazardSpec object, or @file to read one:
+//
+//	ltsim -hazard '{"kind":"weibull","shape":2,"scale_hours":50000}' -horizon 10
+//	ltsim -hazard '{"kind":"bathtub","burn_in_hours":8760,"burn_in_factor":4,
+//	               "wear_onset_hours":43800,"wear_factor":8,"normalize_hours":87600}' -horizon 10
+//	ltsim -hazard @bathtub.json -horizon 10
+//
+// "normalize_hours" rescales the profile to mean multiplier 1 over that
+// horizon, so profiled and unprofiled fleets compare at equal mean rates.
+//
+// -record and -trace connect the simulator to NDJSON fault traces
+// (internal/trace; see examples/trace-replay). -record file runs the
+// configured system and writes every trial's fault/detection/repair
+// events as a replayable trace (requires -horizon; incompatible with
+// -bias and -target-rel). -trace file replays a recorded trace through
+// the configured system instead of sampling fresh faults: trial count
+// and horizon come from the trace header, and by default repairs are
+// pinned to the recorded completions, reproducing the recorded outcomes
+// exactly. -replay-policy instead re-decides detection and repair from
+// the flags — the counterfactual "what if this fault history had hit a
+// better-maintained fleet" question:
+//
+//	ltsim -record run.ndjson -horizon 30 -trials 5000
+//	ltsim -trace run.ndjson                          # pinned: same outcomes
+//	ltsim -trace run.ndjson -replay-policy -scrubs-per-year 12
+//
+// Both are local-only (trace files live on this machine) and cannot be
+// combined with -server or -scenario.
+//
 // Two flags connect the CLI to the ltsimd daemon:
 //
 //	-json        emit the machine-readable estimate (the exact encoding
@@ -101,6 +133,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -126,6 +159,10 @@ func main() {
 		biasMode  = flag.String("bias", "off", "rare-event importance sampling: off, auto (model-chosen boost), or an explicit factor >= 1; requires -horizon")
 		scenPath  = flag.String("scenario", "", "path to a scenario document (JSON); expand and run the sweep locally, or relay it to -server (single-run flags are ignored)")
 		retries   = flag.Int("retries", 3, "with -server: retry attempts after a connection failure or 503 (jittered exponential backoff; 0 = fail fast)")
+		hazard    = flag.String("hazard", "", "non-stationary fault profile: a JSON HazardSpec object, or @file to read one")
+		record    = flag.String("record", "", "record every trial's fault/repair events to this NDJSON trace file (requires -horizon; local only)")
+		tracePath = flag.String("trace", "", "replay a recorded NDJSON trace through the configured system instead of sampling faults (local only)")
+		rePolicy  = flag.Bool("replay-policy", false, "with -trace: re-decide detection and repair from the flags instead of pinning recorded repairs (counterfactual replay)")
 	)
 	flag.Func("replica", "add one replica to a heterogeneous fleet: a named tier (consumer, enterprise, tape) or key=value pairs (mv, ml, scrubs, offset, repair, label, access-rate, access-coverage); repeatable", func(v string) error {
 		replicaFlags = append(replicaFlags, v)
@@ -160,6 +197,8 @@ func main() {
 		asJSON: *asJSON, server: *server,
 		targetRel: *targetRel, maxTrials: *maxTrials, progress: *progress,
 		bias: bias, scenarioPath: *scenPath, retries: *retries,
+		hazard: *hazard, recordPath: *record, tracePath: *tracePath,
+		replayPolicy: *rePolicy,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ltsim:", err)
 		os.Exit(1)
@@ -182,6 +221,34 @@ type config struct {
 	bias             float64
 	scenarioPath     string
 	retries          int
+	hazard           string
+	recordPath       string
+	tracePath        string
+	replayPolicy     bool
+}
+
+// parseHazard decodes the -hazard value — a JSON HazardSpec object, or
+// @file naming one — strictly, so a misspelled parameter fails instead
+// of silently simulating the default profile.
+func parseHazard(v string) (*service.HazardSpec, error) {
+	data := []byte(v)
+	if strings.HasPrefix(v, "@") {
+		b, err := os.ReadFile(v[1:])
+		if err != nil {
+			return nil, fmt.Errorf("-hazard: %w", err)
+		}
+		data = b
+	}
+	var spec service.HazardSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("-hazard: %v", err)
+	}
+	if _, err := spec.Build(); err != nil {
+		return nil, fmt.Errorf("-hazard: %v", err)
+	}
+	return &spec, nil
 }
 
 // parseBias maps the -bias flag onto the wire value: 0 off, sim.AutoBias
@@ -258,6 +325,13 @@ func buildRequest(c config) (service.EstimateRequest, error) {
 		Bias:           c.bias,
 		Progress:       c.progress,
 	}
+	if c.hazard != "" {
+		h, err := parseHazard(c.hazard)
+		if err != nil {
+			return service.EstimateRequest{}, err
+		}
+		req.Hazard = h
+	}
 	if len(c.replicaSpecs) > 0 {
 		for i, v := range c.replicaSpecs {
 			s, err := parseReplica(v, c.scrubs)
@@ -293,6 +367,14 @@ func buildRequest(c config) (service.EstimateRequest, error) {
 }
 
 func run(c config) error {
+	if c.recordPath != "" || c.tracePath != "" {
+		if c.server != "" || c.scenarioPath != "" {
+			return errors.New("-record and -trace are local single-run modes; they cannot be combined with -server or -scenario")
+		}
+		if c.recordPath != "" && c.tracePath != "" {
+			return errors.New("-record and -trace are mutually exclusive")
+		}
+	}
 	if c.scenarioPath != "" {
 		return runScenario(c.scenarioPath, c.server, c.retries)
 	}
@@ -307,6 +389,12 @@ func run(c config) error {
 	cfg, opt, err := req.Build()
 	if err != nil {
 		return err
+	}
+	if c.recordPath != "" {
+		return runRecord(c, cfg, opt)
+	}
+	if c.tracePath != "" {
+		return runReplay(c, cfg, opt)
 	}
 	runner, err := sim.NewRunner(cfg)
 	if err != nil {
@@ -328,8 +416,14 @@ func run(c config) error {
 		return err
 	}
 
+	return emit(c, cfg, est, opt.Horizon)
+}
+
+// emit renders a local run's estimate: the daemon's JSON encoding with
+// -json, human-readable tables otherwise.
+func emit(c config, cfg sim.Config, est sim.Estimate, horizonHours float64) error {
 	if c.asJSON {
-		body, err := json.Marshal(report.NewEstimateJSON(est, opt.Horizon))
+		body, err := json.Marshal(report.NewEstimateJSON(est, horizonHours))
 		if err != nil {
 			return err
 		}
@@ -337,6 +431,68 @@ func run(c config) error {
 		return err
 	}
 	return renderTables(os.Stdout, c, cfg, est)
+}
+
+// runRecord simulates the configured system while recording every
+// trial's fault/detection/repair events, writes the NDJSON trace, and
+// reports the run's own estimate — a pinned replay of the written trace
+// reproduces exactly these outcomes.
+func runRecord(c config, cfg sim.Config, opt sim.Options) error {
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	tr, est, err := runner.RecordTrace(opt)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(c.recordPath)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ltsim: recorded %d events over %d trials (horizon %v h) to %s\n",
+		len(tr.Events), tr.Header.Trials, tr.Header.HorizonHours, c.recordPath)
+	return emit(c, cfg, est, opt.Horizon)
+}
+
+// runReplay drives a recorded trace through the configured system:
+// pinned to the recorded repairs by default, re-deciding them from the
+// flags with -replay-policy. Trial count and horizon come from the
+// trace header, overriding -trials and -horizon.
+func runReplay(c config, cfg sim.Config, opt sim.Options) error {
+	f, err := os.Open(c.tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Parse(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.tracePath, err)
+	}
+	runner, err := sim.NewReplayRunner(cfg, tr, !c.replayPolicy)
+	if err != nil {
+		return err
+	}
+	est, err := runner.ReplayEstimate(opt)
+	if err != nil {
+		return err
+	}
+	mode := "pinned"
+	if c.replayPolicy {
+		mode = "policy"
+	}
+	fmt.Fprintf(os.Stderr, "ltsim: replayed %d trials from %s (%s mode)\n", tr.Header.Trials, c.tracePath, mode)
+	// The replay's censoring horizon is the trace's, not the flag's; the
+	// loss-probability table row should follow it.
+	c.horizonYears = model.Years(tr.Header.HorizonHours)
+	return emit(c, cfg, est, tr.Header.HorizonHours)
 }
 
 // runScenario executes a scenario document: relayed to a daemon's

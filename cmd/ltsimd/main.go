@@ -9,6 +9,8 @@
 //	ltsimd -addr :8356 -cache-dir /var/cache/ltsimd
 //	curl -s localhost:8356/healthz
 //	curl -s -X POST localhost:8356/estimate -d '{"alpha":0.1,"trials":2000}'
+//	curl -s -X POST localhost:8356/estimate \
+//	  -d '{"hazard":{"kind":"weibull","shape":2,"scale_hours":50000},"horizon_years":10}'
 //	curl -s -X POST localhost:8356/sweep -d '{"requests":[{"replicas":2},{"replicas":3}]}'
 //	curl -s localhost:8356/experiments
 //	curl -s -X POST 'localhost:8356/experiments/run?id=E2&quick=1'

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E17",
+		Title:  "Non-stationary hazards: bathtub fleets vs constant fleets at equal mean fault rate",
+		Source: "§5.1 (constant-rate fault processes); temporal-profile extension, docs/MODEL.md",
+		Run:    runE17,
+	})
+}
+
+// Mission under test: a two-way mirror with visible-only faults on a
+// 1000-hour mean and fast automated repair, censored at two years. Loss
+// needs both replicas down inside one 10-hour repair window, so the
+// loss probability tracks the *square* of the instantaneous fault rate
+// — exactly the quantity a time profile redistributes while the mean
+// rate stays fixed.
+const (
+	temporalMV      = 1000.0
+	temporalRepair  = 10.0
+	temporalHorizon = 2.0 // years
+)
+
+// runE17 asks whether the fault process's time profile matters on its
+// own, holding the mean fault rate fixed: every bathtub arm is
+// normalized so its mean rate multiplier over the mission equals 1,
+// making it rate-for-rate comparable with the constant (unprofiled)
+// fleet. A constant-rate analysis sees the two fleets as identical; the
+// simulator should not, because a profile that concentrates faults into
+// a wear-out (or burn-in) band raises the chance two replicas are down
+// at once — pair overlap scales with the squared instantaneous rate,
+// and E[λ(t)²] > (E[λ(t)])² for any non-constant profile.
+func runE17(cfg RunConfig) (*Result, error) {
+	res := &Result{ID: "E17", Title: "Bathtub vs constant fleets at equal mean fault rate"}
+
+	horizonHours := model.YearsToHours(temporalHorizon)
+	trials := cfg.trials(20000)
+	seed := cfg.Seed
+	base := scenario.EstimateRequest{
+		Seed:               &seed,
+		Trials:             trials,
+		Replicas:           2,
+		VisibleMeanHours:   temporalMV,
+		LatentMeanHours:    -1, // no latent channel
+		RepairVisibleHours: temporalRepair,
+		HorizonYears:       temporalHorizon,
+	}
+	never := 0.0
+	base.ScrubsPerYear = &never
+
+	// The constant arm is the same document with no hazard at all.
+	constDoc := scenario.Document{V: scenario.Version, Name: "E17-constant", Base: base}
+	_, constEst, err := runScenario(constDoc)
+	if err != nil {
+		return nil, err
+	}
+	flat := constEst[0]
+
+	// The profiled arms sweep wear-out severity over a fixed bathtub
+	// shape: early burn-in at 3x, wear-out from 12000 h at the swept
+	// factor, the whole profile normalized to mean multiplier 1 over the
+	// mission. hazard.wear_factor is an ordinary scenario axis, so this
+	// document replays through ltsim -scenario or the daemon's /sweep.
+	wearFactors := []float64{2, 6, 12}
+	bathBase := base
+	bathBase.Hazard = &scenario.HazardSpec{
+		Kind:           "bathtub",
+		BurnInHours:    2000,
+		BurnInFactor:   3,
+		WearOnsetHours: 12000,
+		WearFactor:     6,
+		NormalizeHours: horizonHours,
+	}
+	bathDoc := scenario.Document{
+		V:    scenario.Version,
+		Name: "E17-bathtub",
+		Base: bathBase,
+		Grid: []scenario.Axis{{Param: "hazard.wear_factor", Values: wearFactors}},
+	}
+	_, bathEsts, err := runScenario(bathDoc)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("P(loss in 2y) at equal mean fault rate: constant vs normalized bathtub profiles",
+		"fleet", "wear factor", "P(loss)", "95% CI low", "95% CI high", "vs constant")
+	tbl.MustAddRow("constant", "-", flat.LossProb.Point, flat.LossProb.Lo, flat.LossProb.Hi, 1.0)
+	xs := []float64{}
+	ys := []float64{}
+	separated := 0
+	for i, wf := range wearFactors {
+		b := bathEsts[i]
+		ratio := math.NaN()
+		if flat.LossProb.Point > 0 {
+			ratio = b.LossProb.Point / flat.LossProb.Point
+		}
+		tbl.MustAddRow("bathtub", wf, b.LossProb.Point, b.LossProb.Lo, b.LossProb.Hi, ratio)
+		xs = append(xs, wf)
+		ys = append(ys, b.LossProb.Point)
+		// The acceptance check: a profile with the same mean rate must be
+		// measurably different — its CI and the constant arm's disjoint.
+		if b.LossProb.Lo > flat.LossProb.Hi || b.LossProb.Hi < flat.LossProb.Lo {
+			separated++
+		}
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	var plot report.LinePlot
+	plot.Title = "P(loss in 2y) vs wear-out factor (mean fault rate held fixed)"
+	plot.XLabel = "wear factor"
+	plot.YLabel = "P(loss)"
+	plot.MustAdd(report.Series{Name: "bathtub (normalized)", X: xs, Y: ys})
+	plot.MustAdd(report.Series{Name: "constant", X: []float64{xs[0], xs[len(xs)-1]}, Y: []float64{flat.LossProb.Point, flat.LossProb.Point}})
+	res.Plots = append(res.Plots, &plot)
+
+	res.addNote("every bathtub arm carries the same mean fault rate as the constant fleet (profiles normalized to mean multiplier 1 over the %v-hour mission); a constant-rate analytic model cannot distinguish these fleets", horizonHours)
+	res.addNote("%d of %d profiled arms are measurably different from the constant fleet (disjoint 95%% CIs): concentrating the same fault budget into burn-in and wear-out bands changes double-fault overlap, which scales with the squared instantaneous rate", separated, len(wearFactors))
+	res.addNote("the sweep is a declarative scenario (hazard.wear_factor axis over a bathtub base): replayable via ltsim -scenario or POST /sweep, each arm cached under its own canonical key")
+	return res, nil
+}

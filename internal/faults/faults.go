@@ -56,6 +56,9 @@ type Process struct {
 	mean  float64
 	accel float64
 	bias  float64
+	// profile, when non-nil, makes the hazard time-varying:
+	// SampleNextAt thins candidate arrivals against it. See Hazard.
+	profile Hazard
 }
 
 // NewProcess returns a Process with the given mean time between faults in

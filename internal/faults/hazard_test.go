@@ -1,0 +1,265 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mustProcess(t *testing.T, mean float64) *Process {
+	t.Helper()
+	p, err := NewProcess(mean)
+	if err != nil {
+		t.Fatalf("NewProcess(%v): %v", mean, err)
+	}
+	return p
+}
+
+// TestSampleNextAtNilProfileBitIdentical pins the constant-path contract:
+// with no profile attached, SampleNextAt consumes exactly the one draw
+// SampleNext does and returns the identical value, so switching call
+// sites to SampleNextAt cannot perturb any historical result.
+func TestSampleNextAtNilProfileBitIdentical(t *testing.T) {
+	a := mustProcess(t, 1234.5)
+	b := mustProcess(t, 1234.5)
+	srcA, srcB := rng.New(7), rng.New(7)
+	for i := 0; i < 1000; i++ {
+		now := float64(i) * 17.25
+		va := a.SampleNextAt(now, srcA)
+		vb := b.SampleNext(srcB)
+		if va != vb {
+			t.Fatalf("draw %d: SampleNextAt %v != SampleNext %v", i, va, vb)
+		}
+	}
+}
+
+// TestWeibullThinningClosedFormMean is the statistical contract: a
+// process with mean m under WeibullHazard{Shape: k, Scale: m} has
+// first-arrival times distributed exactly Weibull(k, m), whose mean is
+// m·Γ(1+1/k). The thinning sampler must agree with the closed form.
+func TestWeibullThinningClosedFormMean(t *testing.T) {
+	const mean = 40000.0
+	const n = 100000
+	for _, shape := range []float64{1.5, 2, 3} {
+		h, err := NewWeibullHazard(shape, mean)
+		if err != nil {
+			t.Fatalf("NewWeibullHazard: %v", err)
+		}
+		p := mustProcess(t, mean)
+		p.SetProfile(h)
+		src := rng.New(42)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := p.SampleNextAt(0, src)
+			if math.IsInf(v, 1) || v <= 0 {
+				t.Fatalf("shape %v: draw %d = %v", shape, i, v)
+			}
+			sum += v
+		}
+		got := sum / n
+		want := mean * math.Gamma(1+1/shape)
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Errorf("shape %v: sample mean %v vs closed form %v (rel err %.4f)", shape, got, want, rel)
+		}
+	}
+}
+
+// TestPiecewiseThinningClosedFormSurvival checks the piecewise sampler
+// against the exact first-arrival survival function: with base mean m
+// and factor f on [0, b), P(T > b) = exp(−f·b/m).
+func TestPiecewiseThinningClosedFormSurvival(t *testing.T) {
+	const mean = 1000.0
+	const n = 100000
+	h, err := NewPiecewiseHazard([]float64{500}, []float64{2, 0.5})
+	if err != nil {
+		t.Fatalf("NewPiecewiseHazard: %v", err)
+	}
+	p := mustProcess(t, mean)
+	p.SetProfile(h)
+	src := rng.New(9)
+	beyond := 0
+	for i := 0; i < n; i++ {
+		if p.SampleNextAt(0, src) > 500 {
+			beyond++
+		}
+	}
+	got := float64(beyond) / n
+	want := math.Exp(-2 * 500 / mean)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(T > 500) = %v, want %v", got, want)
+	}
+}
+
+// TestConstantHazardExponential checks that a factor-f constant profile
+// is statistically an exponential at f times the base rate.
+func TestConstantHazardExponential(t *testing.T) {
+	const mean = 5000.0
+	h, err := NewConstantHazard(2.5)
+	if err != nil {
+		t.Fatalf("NewConstantHazard: %v", err)
+	}
+	p := mustProcess(t, mean)
+	p.SetProfile(h)
+	src := rng.New(3)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.SampleNextAt(0, src)
+	}
+	got := sum / n
+	want := mean / 2.5
+	if rel := math.Abs(got-want) / want; rel > 0.01 {
+		t.Errorf("sample mean %v, want %v", got, want)
+	}
+}
+
+// TestSampleNextAtDeterministic pins per-seed determinism of the
+// thinning path: identical seeds reproduce identical draw sequences.
+func TestSampleNextAtDeterministic(t *testing.T) {
+	h, err := NewWeibullHazard(2, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() []float64 {
+		p := mustProcess(t, 30000)
+		p.SetProfile(h)
+		src := rng.New(11)
+		out := make([]float64, 200)
+		for i := range out {
+			out[i] = p.SampleNextAt(float64(i)*100, src)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSampleNextAtDisabled checks disabled processes stay disabled under
+// a profile, and zero-tail profiles return +Inf instead of looping.
+func TestSampleNextAtDisabled(t *testing.T) {
+	p := mustProcess(t, math.Inf(1))
+	h, _ := NewConstantHazard(4)
+	p.SetProfile(h)
+	if v := p.SampleNextAt(0, rng.New(1)); !math.IsInf(v, 1) {
+		t.Errorf("disabled process sampled %v, want +Inf", v)
+	}
+
+	// A profile whose final segment is rate 0: arrivals past the last
+	// bound are impossible, so the sampler must terminate with +Inf.
+	dead, err := NewPiecewiseHazard([]float64{10}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustProcess(t, 1e9) // nearly no mass in [0, 10)
+	q.SetProfile(dead)
+	sawInf := false
+	src := rng.New(5)
+	for i := 0; i < 100; i++ {
+		if math.IsInf(q.SampleNextAt(0, src), 1) {
+			sawInf = true
+			break
+		}
+	}
+	if !sawInf {
+		t.Error("zero-tail profile never returned +Inf")
+	}
+}
+
+// TestEnvelopeBounds checks the thinning soundness invariant
+// Multiplier(t) <= bound over each envelope window.
+func TestEnvelopeBounds(t *testing.T) {
+	profiles := []Hazard{
+		ConstantHazard{Factor: 3},
+		PiecewiseHazard{Bounds: []float64{100, 5000}, Factors: []float64{4, 1, 9}},
+		WeibullHazard{Shape: 3, Scale: 10000},
+		ScaledHazard{Base: WeibullHazard{Shape: 2, Scale: 400}, Factor: 0.25},
+	}
+	for _, h := range profiles {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%T: %v", h, err)
+		}
+		for _, from := range []float64{0, 50, 100, 999, 5000, 123456} {
+			bound, dt := h.Envelope(from)
+			if dt <= 0 {
+				t.Fatalf("%T: Envelope(%v) window %v <= 0", h, from, dt)
+			}
+			end := from + dt
+			if math.IsInf(end, 1) {
+				end = from + 1e7
+			}
+			for i := 0; i <= 20; i++ {
+				at := from + (end-from)*float64(i)/20
+				if at >= from+dt {
+					break
+				}
+				if m := h.Multiplier(at); m > bound*(1+1e-12) {
+					t.Fatalf("%T: Multiplier(%v) = %v exceeds envelope %v from %v", h, at, m, bound, from)
+				}
+			}
+		}
+	}
+}
+
+// TestMeanMultiplierClosedForms pins the analytic averages the
+// equal-mean-rate normalization depends on.
+func TestMeanMultiplierClosedForms(t *testing.T) {
+	w := WeibullHazard{Shape: 2, Scale: 1000}
+	if got, want := w.MeanMultiplier(4000), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("weibull mean multiplier %v, want %v", got, want)
+	}
+	pw := PiecewiseHazard{Bounds: []float64{100}, Factors: []float64{5, 1}}
+	// (5·100 + 1·900)/1000 = 1.4
+	if got, want := pw.MeanMultiplier(1000), 1.4; math.Abs(got-want) > 1e-12 {
+		t.Errorf("piecewise mean multiplier %v, want %v", got, want)
+	}
+	// Horizon inside the first segment.
+	if got, want := pw.MeanMultiplier(50), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("piecewise short-horizon mean multiplier %v, want %v", got, want)
+	}
+	n, err := Normalize(pw, 1000)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if got := n.MeanMultiplier(1000); math.Abs(got-1) > 1e-12 {
+		t.Errorf("normalized mean multiplier %v, want 1", got)
+	}
+}
+
+// TestHazardValidation exercises the constructors' domain checks.
+func TestHazardValidation(t *testing.T) {
+	if _, err := NewConstantHazard(0); err == nil {
+		t.Error("constant factor 0 accepted")
+	}
+	if _, err := NewConstantHazard(math.Inf(1)); err == nil {
+		t.Error("constant factor +Inf accepted")
+	}
+	if _, err := NewWeibullHazard(0.5, 100); err == nil {
+		t.Error("weibull shape < 1 accepted")
+	}
+	if _, err := NewWeibullHazard(2, 0); err == nil {
+		t.Error("weibull scale 0 accepted")
+	}
+	if _, err := NewPiecewiseHazard([]float64{10, 5}, []float64{1, 2, 3}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	if _, err := NewPiecewiseHazard([]float64{10}, []float64{1}); err == nil {
+		t.Error("factor/bound length mismatch accepted")
+	}
+	if _, err := NewPiecewiseHazard([]float64{10}, []float64{0, 0}); err == nil {
+		t.Error("all-zero piecewise accepted")
+	}
+	if _, err := NewPiecewiseHazard(nil, []float64{2}); err != nil {
+		t.Error("single-segment piecewise rejected")
+	}
+	if _, err := Normalize(nil, 100); err == nil {
+		t.Error("normalizing nil accepted")
+	}
+	if _, err := Normalize(ConstantHazard{Factor: 1}, 0); err == nil {
+		t.Error("normalization horizon 0 accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/aging"
 	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/repair"
@@ -12,6 +13,131 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
+
+// HazardSpec is a non-stationary fault profile on the wire: a named kind
+// plus that kind's parameters. It builds the faults.Hazard that scales
+// both fault channels over replica age (docs/MODEL.md §Hazard profiles):
+//
+//	{"kind": "constant", "factor": 2}
+//	{"kind": "weibull", "shape": 2, "scale_hours": 50000}
+//	{"kind": "bathtub", "burn_in_hours": 8760, "burn_in_factor": 4,
+//	                    "wear_onset_hours": 43800, "wear_factor": 8}
+//	{"kind": "piecewise", "bounds_hours": [1000], "factors": [3, 1]}
+//
+// Setting a parameter that does not belong to the kind is an error, so a
+// typo ("shape" on a bathtub) fails loudly instead of silently sweeping
+// the default. NormalizeHours, valid with any kind, rescales the profile
+// so its mean multiplier over that horizon is exactly 1 — the
+// equal-mean-rate framing for "does the time profile itself matter?"
+// comparisons (experiment E17).
+type HazardSpec struct {
+	// Kind names the profile: "constant", "weibull", "bathtub", or
+	// "piecewise".
+	Kind string `json:"kind"`
+	// Factor is the constant profile's multiplier.
+	Factor float64 `json:"factor,omitempty"`
+	// Shape and ScaleHours parameterize the Weibull profile (shape >= 1).
+	Shape      float64 `json:"shape,omitempty"`
+	ScaleHours float64 `json:"scale_hours,omitempty"`
+	// BurnInHours/BurnInFactor and WearOnsetHours/WearFactor parameterize
+	// the bathtub profile (aging.Bathtub).
+	BurnInHours    float64 `json:"burn_in_hours,omitempty"`
+	BurnInFactor   float64 `json:"burn_in_factor,omitempty"`
+	WearOnsetHours float64 `json:"wear_onset_hours,omitempty"`
+	WearFactor     float64 `json:"wear_factor,omitempty"`
+	// BoundsHours and Factors parameterize the piecewise profile
+	// (faults.NewPiecewiseHazard).
+	BoundsHours []float64 `json:"bounds_hours,omitempty"`
+	Factors     []float64 `json:"factors,omitempty"`
+	// NormalizeHours, when positive, wraps the profile in
+	// faults.Normalize over this horizon (mean multiplier 1).
+	NormalizeHours float64 `json:"normalize_hours,omitempty"`
+}
+
+// hazardKindParams maps each kind to its parameter fields, as wire
+// names. The reverse index drives the wrong-kind rejection in Build and
+// the axis/kind check in scenario validation.
+var hazardKindParams = map[string][]string{
+	"constant":  {"factor"},
+	"weibull":   {"shape", "scale_hours"},
+	"bathtub":   {"burn_in_hours", "burn_in_factor", "wear_onset_hours", "wear_factor"},
+	"piecewise": {"bounds_hours", "factors"},
+}
+
+// setFields returns the names of the kind-specific parameters the spec
+// sets (NormalizeHours is kind-independent and excluded).
+func (h HazardSpec) setFields() []string {
+	var out []string
+	if h.Factor != 0 {
+		out = append(out, "factor")
+	}
+	if h.Shape != 0 {
+		out = append(out, "shape")
+	}
+	if h.ScaleHours != 0 {
+		out = append(out, "scale_hours")
+	}
+	if h.BurnInHours != 0 {
+		out = append(out, "burn_in_hours")
+	}
+	if h.BurnInFactor != 0 {
+		out = append(out, "burn_in_factor")
+	}
+	if h.WearOnsetHours != 0 {
+		out = append(out, "wear_onset_hours")
+	}
+	if h.WearFactor != 0 {
+		out = append(out, "wear_factor")
+	}
+	if h.BoundsHours != nil {
+		out = append(out, "bounds_hours")
+	}
+	if h.Factors != nil {
+		out = append(out, "factors")
+	}
+	return out
+}
+
+// Build constructs the faults.Hazard the spec describes, rejecting
+// unknown kinds and parameters that belong to a different kind.
+func (h HazardSpec) Build() (faults.Hazard, error) {
+	fields, ok := hazardKindParams[h.Kind]
+	if !ok {
+		return nil, fmt.Errorf("unknown hazard kind %q (valid: constant, weibull, bathtub, piecewise)", h.Kind)
+	}
+	allowed := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		allowed[f] = true
+	}
+	for _, f := range h.setFields() {
+		if !allowed[f] {
+			return nil, fmt.Errorf("hazard parameter %q does not apply to kind %q (its parameters: %s)",
+				f, h.Kind, strings.Join(fields, ", "))
+		}
+	}
+	var built faults.Hazard
+	var err error
+	switch h.Kind {
+	case "constant":
+		built, err = faults.NewConstantHazard(h.Factor)
+	case "weibull":
+		built, err = faults.NewWeibullHazard(h.Shape, h.ScaleHours)
+	case "bathtub":
+		built, err = aging.Bathtub(h.BurnInHours, h.BurnInFactor, h.WearOnsetHours, h.WearFactor)
+	case "piecewise":
+		built, err = faults.NewPiecewiseHazard(h.BoundsHours, h.Factors)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if h.NormalizeHours != 0 {
+		if h.NormalizeHours < 0 || math.IsNaN(h.NormalizeHours) || math.IsInf(h.NormalizeHours, 0) {
+			return nil, fmt.Errorf("normalize_hours %v must be positive and finite", h.NormalizeHours)
+		}
+		return faults.Normalize(built, h.NormalizeHours)
+	}
+	return built, nil
+}
 
 // FleetEntry is one replica of a heterogeneous fleet on the wire: either
 // a named tier (resolved by storage.TierSpec, so CLI and daemon agree on
@@ -32,6 +158,10 @@ type FleetEntry struct {
 	RepairHours       float64 `json:"repair_hours,omitempty"`
 	AccessRatePerHour float64 `json:"access_rate_per_hour,omitempty"`
 	AccessCoverage    float64 `json:"access_coverage,omitempty"`
+	// Hazard, when non-nil, makes this replica's fault channels
+	// non-stationary (see HazardSpec). Tiers carry no profile, so there
+	// is nothing to override: the entry's profile is always the final one.
+	Hazard *HazardSpec `json:"hazard,omitempty"`
 }
 
 // WireFloat maps a fault mean onto its wire form: JSON cannot carry
@@ -45,7 +175,9 @@ func WireFloat(v float64) float64 {
 }
 
 // FleetEntryFromSpec converts a resolved storage spec into its wire
-// form, mapping +Inf means onto the negative-disables convention.
+// form, mapping +Inf means onto the negative-disables convention. A
+// hazard profile is not reverse-mapped: named tiers never carry one, and
+// a built faults.Hazard has no canonical wire decomposition.
 func FleetEntryFromSpec(s storage.Spec) FleetEntry {
 	return FleetEntry{
 		Label:             s.Label,
@@ -123,6 +255,13 @@ func (e FleetEntry) spec(defaultScrubs float64) (storage.Spec, error) {
 	if e.AccessCoverage != 0 {
 		s.AccessCoverage = e.AccessCoverage
 	}
+	if e.Hazard != nil {
+		h, err := e.Hazard.Build()
+		if err != nil {
+			return storage.Spec{}, fmt.Errorf("hazard: %w", err)
+		}
+		s.Hazard = h
+	}
 	return s, nil
 }
 
@@ -166,6 +305,12 @@ type EstimateRequest struct {
 	// Fleet, when non-empty, replaces the uniform shorthand with one
 	// entry per replica.
 	Fleet []FleetEntry `json:"fleet,omitempty"`
+	// Hazard, when non-nil, applies a non-stationary fault profile to
+	// every replica of the uniform fleet (see HazardSpec). Per-entry
+	// profiles on Fleet entries take precedence; with a Fleet set, this
+	// field fills in entries that carry none, mirroring the simulator's
+	// scalar-to-spec inheritance.
+	Hazard *HazardSpec `json:"hazard,omitempty"`
 
 	// Trials is the Monte Carlo budget (default 1000). When
 	// TargetRelWidth is set it is instead the adaptive run's minimum
@@ -226,6 +371,15 @@ func (r EstimateRequest) Build() (sim.Config, sim.Options, error) {
 		corr = a
 	}
 
+	var hazard faults.Hazard
+	if r.Hazard != nil {
+		h, err := r.Hazard.Build()
+		if err != nil {
+			return sim.Config{}, sim.Options{}, fmt.Errorf("hazard: %w", err)
+		}
+		hazard = h
+	}
+
 	var cfg sim.Config
 	if len(r.Fleet) > 0 {
 		specs := make([]storage.Spec, len(r.Fleet))
@@ -233,6 +387,9 @@ func (r EstimateRequest) Build() (sim.Config, sim.Options, error) {
 			s, err := e.spec(scrubs)
 			if err != nil {
 				return sim.Config{}, sim.Options{}, fmt.Errorf("fleet entry %d: %w", i, err)
+			}
+			if s.Hazard == nil {
+				s.Hazard = hazard
 			}
 			specs[i] = s
 		}
@@ -286,6 +443,7 @@ func (r EstimateRequest) Build() (sim.Config, sim.Options, error) {
 			LatentMean:  orDefault(r.LatentMeanHours, model.PaperML),
 			Scrub:       strat,
 			Repair:      rep,
+			Hazard:      hazard,
 		}
 	}
 	cfg.MinIntact = r.MinIntact

@@ -34,7 +34,12 @@
 // visible_mean_hours, latent_mean_hours, repair_visible_hours,
 // repair_latent_hours, scrubs_per_year, alpha, repair_bug_prob,
 // audit_wear_prob, trials, max_trials, horizon_years, seed, level,
-// target_rel_width. Negative means disable a fault channel, exactly as
+// target_rel_width, bias, and the hazard-profile params (hazard.factor,
+// hazard.shape, hazard.scale_hours, hazard.burn_in_hours,
+// hazard.burn_in_factor, hazard.wear_onset_hours, hazard.wear_factor,
+// hazard.normalize_hours) — these last require "base" to declare a
+// "hazard" of the matching kind and sweep its fields in place.
+// Negative means disable a fault channel, exactly as
 // on a single request; scrubs_per_year 0 means never audited (the axis
 // value is always explicit), while params whose wire 0 means "use the
 // default" (alpha, level, the mean and repair scalars, max_trials)
@@ -204,6 +209,33 @@ var scalarParams = map[string]func(*EstimateRequest, float64){
 	"level":                func(r *EstimateRequest, v float64) { r.Level = v },
 	"target_rel_width":     func(r *EstimateRequest, v float64) { r.TargetRelWidth = v },
 	"bias":                 func(r *EstimateRequest, v float64) { r.Bias = v },
+
+	// Hazard-profile params mutate the base request's hazard spec; axis
+	// validation guarantees r.Hazard is non-nil and of the matching kind
+	// before any of these run (see hazardParamKind).
+	"hazard.factor":           func(r *EstimateRequest, v float64) { r.Hazard.Factor = v },
+	"hazard.shape":            func(r *EstimateRequest, v float64) { r.Hazard.Shape = v },
+	"hazard.scale_hours":      func(r *EstimateRequest, v float64) { r.Hazard.ScaleHours = v },
+	"hazard.burn_in_hours":    func(r *EstimateRequest, v float64) { r.Hazard.BurnInHours = v },
+	"hazard.burn_in_factor":   func(r *EstimateRequest, v float64) { r.Hazard.BurnInFactor = v },
+	"hazard.wear_onset_hours": func(r *EstimateRequest, v float64) { r.Hazard.WearOnsetHours = v },
+	"hazard.wear_factor":      func(r *EstimateRequest, v float64) { r.Hazard.WearFactor = v },
+	"hazard.normalize_hours":  func(r *EstimateRequest, v float64) { r.Hazard.NormalizeHours = v },
+}
+
+// hazardParamKind maps each hazard.* axis param to the profile kind it
+// parameterizes ("" = any kind). The base request must declare a hazard
+// of that kind, or the axis would sweep a field its Build rejects (or,
+// worse for a kind-independent field on a nil hazard, sweep nothing).
+var hazardParamKind = map[string]string{
+	"hazard.factor":           "constant",
+	"hazard.shape":            "weibull",
+	"hazard.scale_hours":      "weibull",
+	"hazard.burn_in_hours":    "bathtub",
+	"hazard.burn_in_factor":   "bathtub",
+	"hazard.wear_onset_hours": "bathtub",
+	"hazard.wear_factor":      "bathtub",
+	"hazard.normalize_hours":  "",
 }
 
 // integerParams must carry non-negative integral values.
@@ -284,6 +316,22 @@ func (a Axis) validate(block string, base EstimateRequest) error {
 	}
 	if len(base.Fleet) > 0 && fleetOnlyInert[a.Param] {
 		return fmt.Errorf("scenario: %q axis is inert when the base declares a fleet", a.Param)
+	}
+	if kind, isHazard := hazardParamKind[a.Param]; isHazard {
+		if base.Hazard == nil {
+			return fmt.Errorf("scenario: %q axis requires the base to declare a hazard profile", a.Param)
+		}
+		if kind != "" && base.Hazard.Kind != kind {
+			return fmt.Errorf("scenario: %q axis parameterizes a %q hazard, but the base declares kind %q", a.Param, kind, base.Hazard.Kind)
+		}
+		for _, v := range a.Values {
+			// 0 is the wire's "unset" for every hazard field, so a 0
+			// coordinate would sweep a spec HazardSpec.Build rejects (or
+			// silently drop normalization); fail at validation instead.
+			if v == 0 {
+				return fmt.Errorf("scenario: %q axis value 0 would read as an unset hazard field; hazard parameters must be positive", a.Param)
+			}
+		}
 	}
 	if a.Param == "scrubs_per_year" && len(base.Fleet) > 0 {
 		// With a fleet, the request-level frequency is only the default
@@ -413,6 +461,20 @@ func clone(r EstimateRequest) EstimateRequest {
 	}
 	if r.Fleet != nil {
 		r.Fleet = append([]FleetEntry(nil), r.Fleet...)
+		for i := range r.Fleet {
+			if r.Fleet[i].Hazard != nil {
+				h := *r.Fleet[i].Hazard
+				h.BoundsHours = append([]float64(nil), h.BoundsHours...)
+				h.Factors = append([]float64(nil), h.Factors...)
+				r.Fleet[i].Hazard = &h
+			}
+		}
+	}
+	if r.Hazard != nil {
+		h := *r.Hazard
+		h.BoundsHours = append([]float64(nil), h.BoundsHours...)
+		h.Factors = append([]float64(nil), h.Factors...)
+		r.Hazard = &h
 	}
 	return r
 }

@@ -20,6 +20,10 @@ type EstimateRequest = scenario.EstimateRequest
 // scenario.FleetEntry.
 type FleetEntry = scenario.FleetEntry
 
+// HazardSpec is a non-stationary fault profile on the wire; see
+// scenario.HazardSpec.
+type HazardSpec = scenario.HazardSpec
+
 // WireFloat maps a fault mean onto its wire form (+Inf travels as -1).
 func WireFloat(v float64) float64 { return scenario.WireFloat(v) }
 

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/faults"
 )
 
 // Canonical serializes a validated configuration and its result-shaping
@@ -32,6 +34,9 @@ import (
 func Canonical(cfg Config, opt Options) (string, error) {
 	if err := cfg.Validate(); err != nil {
 		return "", err
+	}
+	if opt.Bias != 0 && cfg.HasHazard() {
+		return "", fmt.Errorf("%w: failure biasing is incompatible with hazard profiles (likelihood-ratio exposure assumes constant armed rates)", ErrInvalidConfig)
 	}
 	var b strings.Builder
 	b.WriteString("sim.Config/v1{")
@@ -115,11 +120,23 @@ func canonFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// hazardType is the faults.Hazard interface, for the additive-field
+// omission rule in writeCanonical.
+var hazardType = reflect.TypeOf((*faults.Hazard)(nil)).Elem()
+
 // writeCanonical deep-encodes a value: concrete type names for interface
 // and pointer indirections, declaration-ordered struct fields (unexported
 // included — derived caches are themselves deterministic functions of the
 // exported state), ordered slices, and key-sorted maps. It never calls
 // Interface(), so unexported fields of foreign types are readable.
+//
+// One additive-field rule: struct fields of interface type faults.Hazard
+// are omitted entirely while nil. The Hazard field joined ReplicaSpec
+// after fingerprints were already deployed as persistent cache keys, and
+// a nil profile is dynamically identical to the historical behaviour —
+// omitting it keeps every unprofiled config's canonical string (and disk
+// store) byte-identical to pre-hazard builds, while any non-nil profile
+// encodes its concrete type and parameters and fingerprints distinctly.
 func writeCanonical(b *strings.Builder, v reflect.Value) error {
 	if !v.IsValid() {
 		b.WriteString("nil")
@@ -136,10 +153,15 @@ func writeCanonical(b *strings.Builder, v reflect.Value) error {
 		t := v.Type()
 		b.WriteString(t.String())
 		b.WriteByte('{')
+		wrote := false
 		for i := 0; i < t.NumField(); i++ {
-			if i > 0 {
+			if t.Field(i).Type == hazardType && v.Field(i).IsNil() {
+				continue
+			}
+			if wrote {
 				b.WriteByte(',')
 			}
+			wrote = true
 			b.WriteString(t.Field(i).Name)
 			b.WriteByte(':')
 			if err := writeCanonical(b, v.Field(i)); err != nil {

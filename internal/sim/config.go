@@ -31,6 +31,21 @@
 // shorthand that the expansion folds into the per-replica Scrub fields.
 // New code should set Specs[i].Scrub instead.
 //
+// # Time-varying fault processes and trace replay
+//
+// Fault arrivals default to time-homogeneous Poisson, but a
+// ReplicaSpec.Hazard (or the uniform Config.Hazard) attaches a hazard
+// profile — constant, piecewise/bathtub (internal/aging.Bathtub),
+// Weibull wear-out — that multiplies the channel's base rate over trial
+// time, sampled by thinning against the profile's rate envelope
+// (faults.Hazard). Profiled runs keep every determinism guarantee below;
+// configs without profiles remain byte-identical to historical output,
+// both in results and in canonical keys. Recorded fault/repair/access
+// event streams (internal/trace) replay through the same trial engine
+// via NewReplayRunner. The full probabilistic contract — process
+// semantics, the thinning envelope rules, bit-identity, and the
+// canonical-key folding — is specified in docs/MODEL.md.
+//
 // # Streaming estimation, adaptive precision, and the determinism contract
 //
 // Estimation is a streaming reduce, not a collect-then-aggregate pass:
@@ -121,6 +136,15 @@ type ReplicaSpec struct {
 	// Repair is this replica's recovery policy. The zero Policy (no
 	// samplers set) inherits Config.Repair.
 	Repair repair.Policy
+	// Hazard, when non-nil, makes both of this replica's fault channels
+	// time-varying: the instantaneous hazard at trial time t is the
+	// channel's base rate (1/mean) times Hazard.Multiplier(t), sampled
+	// by thinning (see faults.Hazard and docs/MODEL.md). nil inherits
+	// Config.Hazard, which may itself be nil — the time-homogeneous
+	// default, byte-identical to historical behaviour. Incompatible
+	// with Options.Bias (the likelihood-ratio bookkeeping assumes
+	// constant armed rates); EstimateStream rejects the combination.
+	Hazard faults.Hazard
 }
 
 // inheritsRepair reports whether the spec's Repair field is the zero
@@ -144,6 +168,11 @@ func (s ReplicaSpec) validate(i int) error {
 	}
 	if err := s.Repair.Validate(); err != nil {
 		return fmt.Errorf("%w: replica %d: %v", ErrInvalidConfig, i, err)
+	}
+	if s.Hazard != nil {
+		if err := s.Hazard.Validate(); err != nil {
+			return fmt.Errorf("%w: replica %d hazard profile: %v", ErrInvalidConfig, i, err)
+		}
 	}
 	return nil
 }
@@ -189,6 +218,11 @@ type Config struct {
 	AccessDetect scrub.Strategy
 	// Repair is the recovery policy for detected faults.
 	Repair repair.Policy
+	// Hazard, when non-nil, applies one hazard profile uniformly: every
+	// replica whose spec leaves Hazard nil inherits it, making the whole
+	// fleet's fault arrivals time-varying (same-batch aging, the §6.5
+	// bathtub). nil keeps the time-homogeneous default.
+	Hazard faults.Hazard
 	// Correlation is the inter-replica fault acceleration model (the
 	// paper's α). faults.Independent{} for independent replicas.
 	Correlation faults.Correlation
@@ -202,6 +236,24 @@ type Config struct {
 	// AuditVisibleFaultProb is the probability that one audit pass
 	// destroys the replica outright (offline-media handling accidents).
 	AuditVisibleFaultProb float64
+}
+
+// HasHazard reports whether any resolved replica carries a hazard
+// profile, i.e. whether the configuration's fault arrivals are
+// time-varying. Biased estimation rejects such configs (the
+// likelihood-ratio bookkeeping assumes constant armed rates) and
+// ModelParams callers should know the closed forms see only the base
+// rates.
+func (c Config) HasHazard() bool {
+	if c.Hazard != nil {
+		return true
+	}
+	for _, s := range c.Specs {
+		if s.Hazard != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // NumReplicas returns the effective replica count: len(Specs) when specs
@@ -238,6 +290,9 @@ func (c Config) resolveSpec(i int) ReplicaSpec {
 	}
 	if s.inheritsRepair() {
 		s.Repair = c.Repair
+	}
+	if s.Hazard == nil {
+		s.Hazard = c.Hazard
 	}
 	return s
 }

@@ -236,6 +236,10 @@ type Runner struct {
 	// specs caches cfg.ReplicaSpecs() so the per-trial hot path skips
 	// the expansion.
 	specs []ReplicaSpec
+	// replay, when non-nil (NewReplayRunner), substitutes recorded
+	// per-trial fault streams for the sampled fault processes. See
+	// replay.go.
+	replay *replayData
 }
 
 // NewRunner validates the configuration and returns a Runner.
@@ -316,6 +320,12 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 	if err := opt.validate(); err != nil {
 		return Estimate{}, err
 	}
+	if opt.Bias != 0 && r.cfg.HasHazard() {
+		return Estimate{}, fmt.Errorf("%w: failure biasing is incompatible with hazard profiles (likelihood-ratio exposure assumes constant armed rates)", ErrInvalidConfig)
+	}
+	if err := r.validateReplay(opt); err != nil {
+		return Estimate{}, err
+	}
 	// Resolve the biasing factor once, so workers, the stopping rule,
 	// and the final Estimate all see the same effective β. An active
 	// Bias — even one that resolves to β = 1 — switches the run to the
@@ -375,6 +385,9 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 			var trialSrc rng.Source
 			t := allocTrial(&r.cfg, r.specs, nil)
 			t.setBiasFactor(opt.Bias)
+			if r.replay != nil {
+				t.replay = &replaySchedule{pinRepairs: r.replay.pinRepairs}
+			}
 			for {
 				b := int(st.next.Add(1) - 1)
 				if int64(b) >= st.stopAt.Load() {
@@ -392,6 +405,9 @@ func (r *Runner) EstimateStream(ctx context.Context, opt Options, sink func(Prog
 					default:
 					}
 					base.DeriveInto(uint64(i)+trialStreamLabel, &trialSrc)
+					if r.replay != nil {
+						t.replay.events = r.replay.trials[i]
+					}
 					t.start(&trialSrc)
 					acc.addTrial(t.run(opt.Horizon), opt.Horizon)
 				}

@@ -158,6 +158,13 @@ type trial struct {
 	stats TrialStats
 	trace *Trace // optional event trace (nil = off)
 
+	// replay, when non-nil, switches the trial from generative to
+	// replay mode: fault arrivals come from a recorded event stream
+	// instead of the sampled processes (armVisible/armLatent/armShock
+	// no-op), and §6.6 side-effect faults are never re-sampled — the
+	// recorded stream already contains them. See replay.go.
+	replay *replaySchedule
+
 	// shockFns are the prebound recurring handlers for cfg.Shocks,
 	// mirroring the per-replica fire* closures.
 	shockFns []des.Handler
@@ -203,6 +210,10 @@ func allocTrial(cfg *Config, specs []ReplicaSpec, trace *Trace) *trial {
 		lat, err := faults.NewProcess(specs[i].LatentMean)
 		if err != nil {
 			panic("sim: config validated but latent process rejected: " + err.Error())
+		}
+		if h := specs[i].Hazard; h != nil {
+			vis.SetProfile(h)
+			lat.SetProfile(h)
 		}
 		r := &replica{visible: vis, latent: lat, src: &rng.Source{}}
 		i := i
@@ -287,6 +298,10 @@ func (t *trial) start(src *rng.Source) {
 	for si := range t.cfg.Shocks {
 		t.armShock(si)
 	}
+	// In replay mode the exogenous events come from the recorded stream.
+	if t.replay != nil {
+		t.scheduleReplay()
+	}
 }
 
 // run executes the trial until loss or horizon (0 = run to loss).
@@ -357,11 +372,14 @@ func (t *trial) noteRate(slot *float64, nr float64) {
 // with silent corruption can still crash); repairing replicas are already
 // being restored.
 func (t *trial) armVisible(i int) {
+	if t.replay != nil {
+		return
+	}
 	r := t.reps[i]
 	r.visibleEv.Cancel()
 	r.visibleEv = nil
 	if r.state != stateRepairing && !r.visible.Disabled() {
-		delay := r.visible.SampleNext(r.src)
+		delay := r.visible.SampleNextAt(t.eng.Now(), r.src)
 		if !math.IsInf(delay, 1) {
 			r.visibleEv = t.eng.ScheduleAfter(delay, r.fireVisible)
 		}
@@ -377,11 +395,14 @@ func (t *trial) armVisible(i int) {
 
 // armLatent schedules the next latent fault for replica i if healthy.
 func (t *trial) armLatent(i int) {
+	if t.replay != nil {
+		return
+	}
 	r := t.reps[i]
 	r.latentEv.Cancel()
 	r.latentEv = nil
 	if r.state == stateHealthy && !r.latent.Disabled() {
-		delay := r.latent.SampleNext(r.src)
+		delay := r.latent.SampleNextAt(t.eng.Now(), r.src)
 		if !math.IsInf(delay, 1) {
 			r.latentEv = t.eng.ScheduleAfter(delay, r.fireLatent)
 		}
@@ -414,6 +435,11 @@ func (t *trial) armAudit(i int) {
 
 // armShock schedules the next firing of shock si.
 func (t *trial) armShock(si int) {
+	if t.replay != nil {
+		// Recorded streams already embody shock outcomes as plain fault
+		// events.
+		return
+	}
 	s := &t.cfg.Shocks[si]
 	delay := s.SampleNext(t.shockSrc)
 	t.eng.ScheduleAfter(delay, t.shockFns[si])
@@ -529,8 +555,9 @@ func (t *trial) onAudit(i int) {
 		t.onDetected(i)
 	}
 	// Side effects apply to replicas the audit actually touched; a
-	// replica under repair is not audited.
-	if r.state == stateRepairing {
+	// replica under repair is not audited. Replay never re-samples side
+	// effects: planted faults ride in the recorded stream.
+	if r.state == stateRepairing || t.replay != nil {
 		return
 	}
 	if t.cfg.AuditVisibleFaultProb > 0 && t.auditSrc.Bool(t.cfg.AuditVisibleFaultProb) {
@@ -594,6 +621,12 @@ func (t *trial) startRepair(i int) {
 		t.noteRate(&r.visRate, 0)
 		t.noteRate(&r.latRate, 0)
 	}
+	if t.replay != nil && t.replay.pinRepairs {
+		// Pinned replay: the recorded stream's repair events complete
+		// this repair; no policy duration is sampled.
+		t.traceEvent(t.eng.Now(), i, eventRepairStart, r.faultKind, false)
+		return
+	}
 	d := t.specs[i].Repair.Duration(r.faultKind == faults.Visible, r.src)
 	r.repairEv = t.eng.ScheduleAfter(d, r.fireRepaired)
 	t.traceEvent(t.eng.Now(), i, eventRepairStart, r.faultKind, false)
@@ -612,8 +645,10 @@ func (t *trial) onRepaired(i int) {
 	t.setHealthy(i)
 	t.armVisible(i)
 	t.armLatent(i)
-	// §6.6: buggy automation can leave a fresh latent fault behind.
-	if t.specs[i].Repair.RepairPlantsFault(r.src) {
+	// §6.6: buggy automation can leave a fresh latent fault behind. In
+	// replay mode the recorded stream already carries planted faults, so
+	// they are never re-sampled.
+	if t.replay == nil && t.specs[i].Repair.RepairPlantsFault(r.src) {
 		t.stats.RepairBugs++
 		t.onFault(i, faults.Latent, true)
 	}

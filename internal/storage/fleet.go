@@ -38,6 +38,11 @@ type Spec struct {
 	// §4.1 user-access detection channel.
 	AccessRatePerHour float64
 	AccessCoverage    float64
+	// Hazard, when non-nil, makes both fault channels non-stationary:
+	// the profile multiplies their rates over the replica's age (burn-in,
+	// wear-out — see faults.Hazard and aging.Bathtub). Named tiers carry
+	// no profile; it is set by callers modelling a specific fleet.
+	Hazard faults.Hazard
 }
 
 // Validate reports whether the spec is well-formed.
@@ -76,6 +81,11 @@ func (s Spec) Validate() error {
 	if s.AccessCoverage > 1 {
 		return fmt.Errorf("%w: spec %q access coverage = %v, must be in [0,1]", ErrInvalid, s.Label, s.AccessCoverage)
 	}
+	if s.Hazard != nil {
+		if err := s.Hazard.Validate(); err != nil {
+			return fmt.Errorf("%w: spec %q hazard: %v", ErrInvalid, s.Label, err)
+		}
+	}
 	return nil
 }
 
@@ -113,6 +123,7 @@ func (s Spec) ReplicaSpec() (sim.ReplicaSpec, error) {
 		Scrub:        strat,
 		AccessDetect: access,
 		Repair:       rep,
+		Hazard:       s.Hazard,
 	}, nil
 }
 

@@ -58,6 +58,34 @@
 //		Trials:  5000,
 //	})
 //
+// # Non-stationary fault processes and trace replay
+//
+// The fault processes are constant-rate by default, as in the paper. A
+// Hazard profile makes them non-stationary: the profile multiplies both
+// channels' rates over each replica's age (burn-in, wear-out), sampled
+// exactly by thinning, with per-trial determinism and bit-identical
+// results at any parallelism intact. BathtubHazard composes the classic
+// burn-in/useful-life/wear-out curve; NormalizeHazard rescales any
+// profile to mean multiplier 1 over a horizon, so profiled and constant
+// fleets compare at equal mean fault rates (experiment E17 shows the
+// profile alone moves the loss estimate). docs/MODEL.md specifies the
+// process semantics and determinism contract in full:
+//
+//	bath, _ := repro.BathtubHazard(8760, 4, 43800, 8) // 1y burn-in at 4x, wear from y5 at 8x
+//	cfg.Hazard, _ = repro.NormalizeHazard(bath, repro.YearsToHours(10))
+//
+// A Runner can also record every trial's fault/detection/repair events
+// as a versioned NDJSON trace (RecordTrace) and replay a recorded
+// stream back through the DES (NewReplayRunner + ReplayEstimate):
+// pinned replay reproduces the recorded outcomes exactly, while policy
+// replay re-decides detection and repair from the current config — the
+// counterfactual "what if this fault history had hit a better-run
+// fleet". See examples/trace-replay and the internal/trace schema:
+//
+//	tr, est, _ := r.RecordTrace(repro.SimOptions{Trials: 5000, Seed: 1, Horizon: repro.YearsToHours(30)})
+//	rr, _ := repro.NewReplayRunner(cfg, tr, true) // pinned
+//	same, _ := rr.ReplayEstimate(repro.SimOptions{Seed: 9})
+//
 // Heterogeneous fleets (§6.1–§6.2): SimConfig.Specs gives each replica
 // its own fault means, audit schedule, detection channel, repair policy,
 // and tier label; FleetConfig builds such a config from named storage
@@ -182,6 +210,9 @@
 package repro
 
 import (
+	"io"
+
+	"repro/internal/aging"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/costs"
@@ -199,6 +230,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/threat"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -344,6 +376,87 @@ func AlphaCorrelation(alpha float64) (Correlation, error) {
 // Shock is a common-cause fault source hitting several replicas at once.
 type Shock = faults.Shock
 
+// ---- Non-stationary hazard profiles ----
+
+// Hazard is a time-varying multiplier on a replica's fault rates: set
+// SimConfig.Hazard (or ReplicaSpec.Hazard) to make the fault processes
+// non-stationary. See docs/MODEL.md for the sampling and determinism
+// contract.
+type Hazard = faults.Hazard
+
+// ConstantHazard scales both fault channels by a fixed factor.
+type ConstantHazard = faults.ConstantHazard
+
+// WeibullHazard is the Weibull (power-law) hazard shape with shape >= 1
+// — the standard wear-out model.
+type WeibullHazard = faults.WeibullHazard
+
+// PiecewiseHazard is a step-function profile: constant factors over
+// consecutive age bands.
+type PiecewiseHazard = faults.PiecewiseHazard
+
+// NewConstantHazard validates and returns a constant profile.
+func NewConstantHazard(factor float64) (ConstantHazard, error) {
+	return faults.NewConstantHazard(factor)
+}
+
+// NewWeibullHazard validates and returns a Weibull profile.
+func NewWeibullHazard(shape, scaleHours float64) (WeibullHazard, error) {
+	return faults.NewWeibullHazard(shape, scaleHours)
+}
+
+// NewPiecewiseHazard validates and returns a step-function profile.
+func NewPiecewiseHazard(boundsHours, factors []float64) (PiecewiseHazard, error) {
+	return faults.NewPiecewiseHazard(boundsHours, factors)
+}
+
+// BathtubHazard composes the classic bathtub curve as a piecewise
+// profile: elevated burn-in, unit useful life, elevated wear-out.
+func BathtubHazard(burnInHours, burnInFactor, wearOnsetHours, wearFactor float64) (PiecewiseHazard, error) {
+	return aging.Bathtub(burnInHours, burnInFactor, wearOnsetHours, wearFactor)
+}
+
+// WearoutHazard is a pure wear-out (Weibull) profile parameterized by
+// characteristic life.
+func WearoutHazard(shape, characteristicLifeHours float64) (WeibullHazard, error) {
+	return aging.Wearout(shape, characteristicLifeHours)
+}
+
+// NormalizeHazard rescales a profile so its mean multiplier over the
+// horizon is exactly 1 — profiled and constant fleets then carry equal
+// mean fault rates, isolating the effect of the time profile itself.
+func NormalizeHazard(h Hazard, horizonHours float64) (faults.ScaledHazard, error) {
+	return faults.Normalize(h, horizonHours)
+}
+
+// ---- Fault traces (record and replay) ----
+
+// FaultTrace is a recorded fault/repair/access event stream over a
+// trial set, serializable as versioned NDJSON (see internal/trace for
+// the schema and examples/trace-replay for a worked example). Distinct
+// from Trace, the single-trial diagnostic event log.
+type FaultTrace = trace.Trace
+
+// FaultTraceHeader is a trace's header line: schema version, fleet
+// width, trial count, and censoring horizon.
+type FaultTraceHeader = trace.Header
+
+// FaultTraceEvent is one recorded event.
+type FaultTraceEvent = trace.Event
+
+// ParseFaultTrace decodes and validates an NDJSON trace stream.
+func ParseFaultTrace(r io.Reader) (*FaultTrace, error) { return trace.Parse(r) }
+
+// NewReplayRunner returns a Runner that replays the recorded trace
+// through cfg's fleet instead of sampling fresh faults. With pinRepairs
+// true the recorded repair completions are honored (a replay reproduces
+// the recorded outcomes exactly); false re-decides detection and repair
+// from cfg — the counterfactual replay. Use Runner.ReplayEstimate to
+// run it; Runner.RecordTrace on an ordinary runner produces traces.
+func NewReplayRunner(cfg SimConfig, tr *FaultTrace, pinRepairs bool) (*Runner, error) {
+	return sim.NewReplayRunner(cfg, tr, pinRepairs)
+}
+
 // FaultClass distinguishes visible from latent faults (§5.1).
 type FaultClass = faults.Type
 
@@ -470,6 +583,13 @@ type ServiceEstimateRequest = service.EstimateRequest
 // ServiceFleetEntry is one replica of a fleet on the wire: a named tier
 // or explicit StorageSpec numbers.
 type ServiceFleetEntry = service.FleetEntry
+
+// ServiceHazardSpec is a non-stationary fault profile on the wire: a
+// named kind (constant, weibull, bathtub, piecewise) plus that kind's
+// parameters, with optional mean-rate normalization. Set it on a
+// request ("hazard") or a fleet entry, or sweep its fields through
+// scenario hazard.* axes.
+type ServiceHazardSpec = service.HazardSpec
 
 // ---- Persistent result store (internal/store) ----
 

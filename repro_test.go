@@ -133,8 +133,8 @@ func TestArchivePresets(t *testing.T) {
 
 func TestExperimentRegistryViaFacade(t *testing.T) {
 	all := repro.Experiments()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
 	}
 	e, ok := repro.ExperimentByID("E1")
 	if !ok {
